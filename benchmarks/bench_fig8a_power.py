@@ -1,0 +1,50 @@
+"""Fig. 8(a): microgenerator output power during the 1 Hz tuning process.
+
+The paper reports a simulated RMS output power of 118 uW with the
+microgenerator tuned at 70 Hz and 117 uW after the retune to 71 Hz, against
+a measured 116 uW: the power dips while the ambient frequency and the
+resonant frequency disagree and recovers to (almost) the same level after
+tuning.  This benchmark regenerates that series: RMS power before the
+frequency shift, during the mismatch, and after the retune.
+"""
+
+from repro.analysis.power import rms_power
+from repro.harvester.scenarios import run_proposed, scenario_1
+from repro.io.report import format_table
+
+#: the shift happens late enough for the resonance to build up first, and the
+#: run extends long enough after the retune for it to settle again
+DURATION_S = 5.0
+SHIFT_TIME_S = 1.5
+
+
+def test_fig8a_power_series(benchmark, report_writer):
+    scenario = scenario_1(duration_s=DURATION_S, shift_time_s=SHIFT_TIME_S)
+    result = benchmark.pedantic(lambda: run_proposed(scenario), rounds=1, iterations=1)
+
+    power = result["generator_power"]
+    tuned_70 = rms_power(power, 1.0, SHIFT_TIME_S)
+    during_mismatch = rms_power(power, SHIFT_TIME_S + 0.2, SHIFT_TIME_S + 0.7)
+    tuned_71 = rms_power(power, DURATION_S - 0.8, DURATION_S - 0.1)
+
+    rows = [
+        ["tuned at 70 Hz (before shift)", f"{tuned_70 * 1e6:.1f}", "118"],
+        ["mismatched (70 Hz device, 71 Hz ambient)", f"{during_mismatch * 1e6:.1f}", "(dips)"],
+        ["re-tuned at 71 Hz (after tuning)", f"{tuned_71 * 1e6:.1f}", "117"],
+    ]
+    text = format_table(
+        ["operating condition", "RMS power, this repo [uW]", "paper [uW]"],
+        rows,
+        title="Fig. 8(a) — microgenerator output power around the 1 Hz retune",
+    )
+    text += "\n(paper's experimental measurement: 116 uW)"
+    report_writer("fig8a_power", text)
+
+    # shape assertions: power before and after the retune are of the same
+    # order and within a factor ~2 of the paper's ~117 uW; the mismatch
+    # interval loses power relative to the tuned intervals
+    assert result.metadata.get("n_tunings_completed", 0) >= 1
+    assert 30e-6 < tuned_70 < 400e-6
+    assert 30e-6 < tuned_71 < 400e-6
+    assert abs(tuned_71 - tuned_70) < 0.35 * tuned_70
+    assert during_mismatch < tuned_70

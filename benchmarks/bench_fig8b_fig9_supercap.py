@@ -1,0 +1,74 @@
+"""Fig. 8(b) and Fig. 9: supercapacitor voltage, simulation vs "measurement".
+
+The paper overlays the simulated supercapacitor voltage on measurements of
+the physical harvester for the 1 Hz (Fig. 8b) and 14 Hz (Fig. 9) tuning
+scenarios and observes close correlation.  Without hardware, the
+measurement stand-in is the same nonlinear model integrated by scipy at
+tight tolerance with a small parasitic-leakage perturbation (the paper
+attributes the residual mismatch to exactly such unmodelled losses).
+
+The benchmark reports the waveform comparison metrics for both scenarios.
+"""
+
+import pytest
+
+from repro.analysis.waveforms import compare_traces
+from repro.baselines.reference import ReferenceSolverSettings
+from repro.harvester.scenarios import run_proposed, run_reference, scenario_1, scenario_2
+from repro.io.report import format_table
+
+#: shorter windows than the power benchmark: the reference (scipy) solver is
+#: itself expensive, and the waveform-agreement claim does not need a long run
+DURATIONS = {"fig8b_scenario1": 1.2, "fig9_scenario2": 1.5}
+
+_rows = []
+
+
+def _scenario(name):
+    if name == "fig8b_scenario1":
+        return scenario_1(duration_s=DURATIONS[name], shift_time_s=0.3)
+    return scenario_2(duration_s=DURATIONS[name], shift_time_s=0.3)
+
+
+@pytest.mark.parametrize("name", ["fig8b_scenario1", "fig9_scenario2"])
+def test_supercapacitor_voltage_matches_reference(benchmark, name):
+    scenario = _scenario(name)
+    proposed = benchmark.pedantic(lambda: run_proposed(scenario), rounds=1, iterations=1)
+    reference = run_reference(
+        _scenario(name),
+        settings=ReferenceSolverSettings(
+            rtol=1e-7,
+            atol=1e-9,
+            max_step=1e-3,
+            record_interval=2e-3,
+            parasitic_conductance_s=2e-6,
+        ),
+    )
+    comparison = compare_traces(reference["storage_voltage"], proposed["storage_voltage"])
+    _rows.append(
+        [
+            name,
+            f"{comparison.normalised_rms_error * 100:.2f} %",
+            f"{comparison.max_absolute_error * 1e3:.1f} mV",
+            f"{comparison.correlation:.4f}",
+        ]
+    )
+    # "close correlation" shape: small normalised error, high correlation
+    assert comparison.normalised_rms_error < 0.10
+    assert comparison.correlation > 0.9
+
+
+def test_zz_report_fig8b_fig9(benchmark, report_writer):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert len(_rows) == 2
+    text = format_table(
+        ["figure / scenario", "NRMSE", "max |error|", "correlation"],
+        _rows,
+        title="Fig. 8(b) / Fig. 9 — supercapacitor voltage: fast solver vs measurement stand-in",
+    )
+    text += (
+        "\npaper: simulation and experiment 'correlate well'; residual differences "
+        "attributed to leakage and parasitic losses (modelled here as the reference's "
+        "parasitic conductance)."
+    )
+    report_writer("fig8b_fig9_supercap", text)

@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark prints the table/figure data it reproduces and also writes
+it to ``benchmarks/results/<name>.txt`` so the numbers survive pytest's
+output capturing and can be copied into EXPERIMENTS.md.
+"""
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+@pytest.fixture
+def report_writer():
+    """Return a callable ``write(name, text)`` that prints and persists."""
+
+    def write(name: str, text: str) -> Path:
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print()
+        print(text)
+        return path
+
+    return write

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is configured through ``pyproject.toml``; this file exists so
+that editable installs work in offline environments whose setuptools lacks
+the ``wheel`` package required by the PEP 517 editable-install path
+(``pip install -e . --no-use-pep517`` falls back to this shim).
+"""
+
+from setuptools import setup
+
+setup()

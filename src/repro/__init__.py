@@ -1,0 +1,85 @@
+"""repro — linearised state-space simulation of tunable vibration energy
+harvesting systems.
+
+Reproduction of: Wang, Kazmierski, Al-Hashimi, Weddell, Merrett and Ayala
+Garcia, "Accelerated simulation of tunable vibration energy harvesting
+systems using a linearised state-space technique", DATE 2011.
+
+The package is organised as:
+
+* :mod:`repro.core` — the fast simulation engine (block framework,
+  linearisation, terminal-variable elimination, explicit integrators,
+  stability/step control, digital kernel);
+* :mod:`repro.blocks` — physical component models (microgenerator,
+  Dickson multiplier, supercapacitor, microcontroller, actuator ...);
+* :mod:`repro.harvester` — the assembled complete system and the paper's
+  evaluation scenarios;
+* :mod:`repro.baselines` — the conventional solvers the paper compares
+  against (Newton-Raphson implicit, SPICE-like MNA, scipy reference);
+* :mod:`repro.analysis` — power/energy metrics, frequency detection,
+  waveform comparison, CPU-time tables, design sweeps;
+* :mod:`repro.io` — CSV export and report formatting.
+
+Quick start::
+
+    from repro import scenario_1, run_proposed
+    result = run_proposed(scenario_1(duration_s=2.0))
+    print(result["storage_voltage"].final())
+"""
+
+from .core import (
+    AdamsBashforth,
+    AnalogueBlock,
+    ForwardEuler,
+    LinearisedStateSpaceSolver,
+    Netlist,
+    RungeKutta2,
+    RungeKutta4,
+    SimulationResult,
+    SolverSettings,
+    SystemAssembler,
+    Trace,
+    make_integrator,
+)
+from .harvester import (
+    HarvesterConfig,
+    Scenario,
+    TunableEnergyHarvester,
+    charging_scenario,
+    default_solver_settings,
+    paper_harvester,
+    run_baseline,
+    run_proposed,
+    run_reference,
+    scenario_1,
+    scenario_2,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdamsBashforth",
+    "AnalogueBlock",
+    "ForwardEuler",
+    "LinearisedStateSpaceSolver",
+    "Netlist",
+    "RungeKutta2",
+    "RungeKutta4",
+    "SimulationResult",
+    "SolverSettings",
+    "SystemAssembler",
+    "Trace",
+    "make_integrator",
+    "HarvesterConfig",
+    "Scenario",
+    "TunableEnergyHarvester",
+    "charging_scenario",
+    "default_solver_settings",
+    "paper_harvester",
+    "run_baseline",
+    "run_proposed",
+    "run_reference",
+    "scenario_1",
+    "scenario_2",
+    "__version__",
+]

@@ -1,0 +1,120 @@
+"""Frequency analysis: resonance prediction and waveform-based detection.
+
+The tuning controller needs the ambient vibration frequency and the
+microgenerator's resonant frequency.  In the simulation the controller
+reads idealised probes; this module provides the signal-processing
+counterparts (zero-crossing and FFT estimators) used in the analysis layer
+and in the examples to verify that a waveform-based detector would reach
+the same decisions, plus the analytic resonance formulas of Eq. (12).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from ..core.errors import ConfigurationError
+from ..core.results import Trace
+
+__all__ = [
+    "resonant_frequency",
+    "tuned_frequency",
+    "required_tuning_force",
+    "detect_frequency_zero_crossing",
+    "detect_frequency_fft",
+    "frequency_mismatch",
+]
+
+
+def resonant_frequency(stiffness_n_per_m: float, mass_kg: float) -> float:
+    """Natural frequency ``sqrt(k/m) / 2 pi`` in Hz."""
+    if stiffness_n_per_m <= 0.0 or mass_kg <= 0.0:
+        raise ConfigurationError("stiffness and mass must be positive")
+    return math.sqrt(stiffness_n_per_m / mass_kg) / (2.0 * math.pi)
+
+
+def tuned_frequency(untuned_hz: float, tuning_force_n: float, buckling_load_n: float) -> float:
+    """Eq. (12): ``f_r' = f_r sqrt(1 + F_t / F_b)``."""
+    if untuned_hz <= 0.0 or buckling_load_n <= 0.0:
+        raise ConfigurationError("frequency and buckling load must be positive")
+    ratio = 1.0 + tuning_force_n / buckling_load_n
+    if ratio <= 0.0:
+        raise ConfigurationError("tuning force exceeds the buckling limit")
+    return untuned_hz * math.sqrt(ratio)
+
+
+def required_tuning_force(untuned_hz: float, target_hz: float, buckling_load_n: float) -> float:
+    """Inverse of Eq. (12): force needed to move the resonance to ``target_hz``."""
+    if target_hz < untuned_hz:
+        raise ConfigurationError("magnetic tuning can only raise the resonant frequency")
+    return buckling_load_n * ((target_hz / untuned_hz) ** 2 - 1.0)
+
+
+def detect_frequency_zero_crossing(
+    trace: Trace,
+    t_start: Optional[float] = None,
+    t_end: Optional[float] = None,
+) -> float:
+    """Estimate the dominant frequency from positive-going zero crossings.
+
+    This is what a microcontroller with a comparator input would do with
+    the generator voltage; it needs at least two positive-going crossings
+    in the window.
+    """
+    window = trace if (t_start is None and t_end is None) else trace.window(
+        trace.times[0] if t_start is None else t_start,
+        trace.times[-1] if t_end is None else t_end,
+    )
+    times = window.times
+    values = window.values
+    if times.size < 4:
+        raise ConfigurationError("not enough samples for zero-crossing detection")
+    centred = values - np.mean(values)
+    crossings = []
+    for i in range(1, centred.size):
+        if centred[i - 1] < 0.0 <= centred[i]:
+            # linear interpolation of the crossing instant
+            frac = -centred[i - 1] / (centred[i] - centred[i - 1])
+            crossings.append(times[i - 1] + frac * (times[i] - times[i - 1]))
+    if len(crossings) < 2:
+        raise ConfigurationError("fewer than two zero crossings in the window")
+    periods = np.diff(crossings)
+    return float(1.0 / np.mean(periods))
+
+
+def detect_frequency_fft(
+    trace: Trace,
+    t_start: Optional[float] = None,
+    t_end: Optional[float] = None,
+) -> float:
+    """Estimate the dominant frequency from the FFT peak of a waveform.
+
+    The trace is resampled on a uniform grid before the transform because
+    the adaptive solver produces non-uniform time points.
+    """
+    window = trace if (t_start is None and t_end is None) else trace.window(
+        trace.times[0] if t_start is None else t_start,
+        trace.times[-1] if t_end is None else t_end,
+    )
+    times = window.times
+    if times.size < 8:
+        raise ConfigurationError("not enough samples for FFT-based detection")
+    duration = times[-1] - times[0]
+    if duration <= 0.0:
+        raise ConfigurationError("window has zero duration")
+    n_samples = max(64, times.size)
+    uniform_times = np.linspace(times[0], times[-1], n_samples)
+    uniform_values = np.interp(uniform_times, times, window.values)
+    uniform_values = uniform_values - np.mean(uniform_values)
+    spectrum = np.abs(np.fft.rfft(uniform_values))
+    frequencies = np.fft.rfftfreq(n_samples, d=duration / (n_samples - 1))
+    # ignore the DC bin
+    peak_index = int(np.argmax(spectrum[1:]) + 1)
+    return float(frequencies[peak_index])
+
+
+def frequency_mismatch(ambient_hz: float, resonant_hz: float) -> float:
+    """Absolute frequency mismatch |ambient - resonant| in Hz."""
+    return abs(ambient_hz - resonant_hz)

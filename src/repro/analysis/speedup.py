@@ -1,0 +1,140 @@
+"""CPU-time comparison helpers (Tables I and II).
+
+The benchmark harness runs the proposed solver and the baselines on the
+same scenarios and summarises the CPU times with the helpers here, printing
+rows that mirror the paper's tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.errors import ConfigurationError
+from ..core.results import SimulationResult
+
+__all__ = ["TimingEntry", "SpeedupTable", "speedup"]
+
+
+def speedup(baseline_seconds: float, proposed_seconds: float) -> float:
+    """Speed-up factor of the proposed technique over a baseline."""
+    if proposed_seconds <= 0.0:
+        raise ConfigurationError("proposed CPU time must be positive")
+    if baseline_seconds < 0.0:
+        raise ConfigurationError("baseline CPU time must be non-negative")
+    return baseline_seconds / proposed_seconds
+
+
+@dataclass
+class TimingEntry:
+    """One row of a CPU-time comparison table."""
+
+    label: str
+    simulator: str
+    integration_method: str
+    cpu_time_s: float
+    simulated_time_s: float
+    n_steps: int = 0
+    notes: str = ""
+
+    @classmethod
+    def from_result(
+        cls, label: str, result: SimulationResult, *, notes: str = ""
+    ) -> "TimingEntry":
+        """Build an entry from a :class:`SimulationResult`."""
+        stats = result.stats
+        return cls(
+            label=label,
+            simulator=stats.solver_name,
+            integration_method=str(
+                result.metadata.get("integrator", result.metadata.get("formula", ""))
+            ),
+            cpu_time_s=stats.cpu_time_s,
+            simulated_time_s=stats.final_time,
+            n_steps=stats.n_accepted_steps or stats.n_steps,
+            notes=notes,
+        )
+
+    @property
+    def cpu_seconds_per_simulated_second(self) -> float:
+        """Normalised cost, robust to different simulated durations."""
+        if self.simulated_time_s <= 0.0:
+            return float("nan")
+        return self.cpu_time_s / self.simulated_time_s
+
+
+@dataclass
+class SpeedupTable:
+    """A collection of timing entries with formatting helpers."""
+
+    title: str
+    entries: List[TimingEntry] = field(default_factory=list)
+    reference_label: Optional[str] = None
+
+    def add(self, entry: TimingEntry) -> None:
+        """Append a row."""
+        self.entries.append(entry)
+
+    def entry(self, label: str) -> TimingEntry:
+        """Look up a row by label."""
+        for candidate in self.entries:
+            if candidate.label == label:
+                return candidate
+        raise ConfigurationError(f"no timing entry labelled {label!r}")
+
+    def speedup_of(self, proposed_label: str, baseline_label: str) -> float:
+        """Speed-up of one row over another (normalised per simulated second)."""
+        proposed = self.entry(proposed_label)
+        baseline = self.entry(baseline_label)
+        return speedup(
+            baseline.cpu_seconds_per_simulated_second,
+            proposed.cpu_seconds_per_simulated_second,
+        )
+
+    def speedups(self) -> Dict[str, float]:
+        """Speed-up of the reference (proposed) row over every other row."""
+        if self.reference_label is None:
+            raise ConfigurationError("reference_label is not set on this table")
+        return {
+            entry.label: self.speedup_of(self.reference_label, entry.label)
+            for entry in self.entries
+            if entry.label != self.reference_label
+        }
+
+    def format(self) -> str:
+        """Render the table as aligned plain text (printed by the benches)."""
+        headers = [
+            "label",
+            "simulator",
+            "method",
+            "CPU [s]",
+            "simulated [s]",
+            "steps",
+            "CPU/sim-s",
+        ]
+        rows = [headers]
+        for entry in self.entries:
+            rows.append(
+                [
+                    entry.label,
+                    entry.simulator,
+                    entry.integration_method,
+                    f"{entry.cpu_time_s:.3f}",
+                    f"{entry.simulated_time_s:.3f}",
+                    str(entry.n_steps),
+                    f"{entry.cpu_seconds_per_simulated_second:.3f}",
+                ]
+            )
+        widths = [max(len(row[col]) for row in rows) for col in range(len(headers))]
+        lines = [self.title, "-" * len(self.title)]
+        for idx, row in enumerate(rows):
+            lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+            if idx == 0:
+                lines.append("  ".join("=" * width for width in widths))
+        if self.reference_label is not None and len(self.entries) > 1:
+            lines.append("")
+            for label, factor in self.speedups().items():
+                lines.append(
+                    f"speed-up of {self.reference_label} over {label}: {factor:.1f}x"
+                )
+        return "\n".join(lines)

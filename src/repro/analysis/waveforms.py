@@ -1,0 +1,100 @@
+"""Waveform comparison metrics.
+
+Used to quantify the "close correlation" between the fast simulation and
+the reference (measurement stand-in) waveforms of Figs. 8(b) and 9, and by
+the test suite to assert the proposed solver's accuracy against the
+Newton-Raphson baseline and the scipy reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.errors import ConfigurationError
+from ..core.results import Trace
+
+__all__ = [
+    "WaveformComparison",
+    "compare_traces",
+    "normalised_rms_error",
+    "max_absolute_error",
+    "correlation_coefficient",
+]
+
+
+@dataclass(frozen=True)
+class WaveformComparison:
+    """Summary of the difference between two waveforms on a common grid."""
+
+    rms_error: float
+    normalised_rms_error: float
+    max_absolute_error: float
+    correlation: float
+    n_samples: int
+
+    def as_dict(self) -> dict:
+        """Plain-dictionary view for report generation."""
+        return {
+            "rms_error": self.rms_error,
+            "normalised_rms_error": self.normalised_rms_error,
+            "max_absolute_error": self.max_absolute_error,
+            "correlation": self.correlation,
+            "n_samples": self.n_samples,
+        }
+
+
+def _common_grid(reference: Trace, candidate: Trace, n_samples: Optional[int]) -> np.ndarray:
+    t_lo = max(reference.times[0], candidate.times[0])
+    t_hi = min(reference.times[-1], candidate.times[-1])
+    if t_hi <= t_lo:
+        raise ConfigurationError("the two traces do not overlap in time")
+    if n_samples is None:
+        n_samples = min(max(len(reference), len(candidate)), 5000)
+    return np.linspace(t_lo, t_hi, max(n_samples, 2))
+
+
+def compare_traces(
+    reference: Trace,
+    candidate: Trace,
+    *,
+    n_samples: Optional[int] = None,
+) -> WaveformComparison:
+    """Compare ``candidate`` against ``reference`` on a common time grid."""
+    grid = _common_grid(reference, candidate, n_samples)
+    ref_values = np.interp(grid, reference.times, reference.values)
+    cand_values = np.interp(grid, candidate.times, candidate.values)
+    error = cand_values - ref_values
+    rms_error = float(np.sqrt(np.mean(error**2)))
+    scale = float(np.max(np.abs(ref_values)))
+    if scale == 0.0:
+        scale = 1.0
+    with np.errstate(invalid="ignore"):
+        if np.std(ref_values) == 0.0 or np.std(cand_values) == 0.0:
+            correlation = 1.0 if rms_error == 0.0 else 0.0
+        else:
+            correlation = float(np.corrcoef(ref_values, cand_values)[0, 1])
+    return WaveformComparison(
+        rms_error=rms_error,
+        normalised_rms_error=rms_error / scale,
+        max_absolute_error=float(np.max(np.abs(error))),
+        correlation=correlation,
+        n_samples=int(grid.size),
+    )
+
+
+def normalised_rms_error(reference: Trace, candidate: Trace) -> float:
+    """NRMSE of ``candidate`` vs ``reference`` (error RMS / reference peak)."""
+    return compare_traces(reference, candidate).normalised_rms_error
+
+
+def max_absolute_error(reference: Trace, candidate: Trace) -> float:
+    """Maximum pointwise error on the common grid."""
+    return compare_traces(reference, candidate).max_absolute_error
+
+
+def correlation_coefficient(reference: Trace, candidate: Trace) -> float:
+    """Pearson correlation of the two waveforms on the common grid."""
+    return compare_traces(reference, candidate).correlation

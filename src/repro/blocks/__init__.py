@@ -1,0 +1,45 @@
+"""Physical component models of the tunable energy harvesting system.
+
+Each analogue component (microgenerator, voltage multiplier,
+supercapacitor) is an :class:`~repro.core.block.AnalogueBlock`; the purely
+digital microcontroller is a :class:`~repro.core.digital.DigitalProcess`;
+the vibration source, magnetic tuning law and linear actuator are plain
+model objects used by those blocks.
+"""
+
+from .actuator import LinearActuator
+from .diode import DiodeParameters, ShockleyDiode, build_diode_companion_table
+from .electrostatic import ElectrostaticMicrogenerator, ElectrostaticParameters
+from .load import LoadProfile, OperatingMode
+from .microcontroller import ControllerSettings, ControllerState, TuningController
+from .microgenerator import ElectromagneticMicrogenerator, MicrogeneratorParameters
+from .piezoelectric import PiezoelectricMicrogenerator, PiezoelectricParameters
+from .supercapacitor import Supercapacitor, SupercapacitorParameters
+from .tuning import MagneticTuningModel
+from .vibration import FrequencyStep, MultiToneVibrationSource, VibrationSource
+from .voltage_multiplier import DicksonMultiplier
+
+__all__ = [
+    "LinearActuator",
+    "DiodeParameters",
+    "ShockleyDiode",
+    "build_diode_companion_table",
+    "ElectrostaticMicrogenerator",
+    "ElectrostaticParameters",
+    "LoadProfile",
+    "OperatingMode",
+    "ControllerSettings",
+    "ControllerState",
+    "TuningController",
+    "ElectromagneticMicrogenerator",
+    "MicrogeneratorParameters",
+    "PiezoelectricMicrogenerator",
+    "PiezoelectricParameters",
+    "Supercapacitor",
+    "SupercapacitorParameters",
+    "MagneticTuningModel",
+    "FrequencyStep",
+    "MultiToneVibrationSource",
+    "VibrationSource",
+    "DicksonMultiplier",
+]

@@ -1,0 +1,112 @@
+"""Linear actuator that positions the moving tuning magnet.
+
+The actuator is a quasi-static mechanical component: it travels at a
+constant speed towards a commanded position and draws a fixed electrical
+power while moving (which the paper captures on the electrical side by
+switching the equivalent load resistance to its "actuator performs tuning"
+value, Eq. 16).  Because its mechanical dynamics are orders of magnitude
+slower than the vibration, it is modelled as a discrete-time component that
+the microcontroller polls rather than as an analogue block with state
+equations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.errors import ConfigurationError
+
+__all__ = ["LinearActuator"]
+
+
+@dataclass
+class LinearActuator:
+    """Constant-speed linear actuator with travel limits.
+
+    Attributes
+    ----------
+    speed_m_per_s:
+        Travel speed (the practical actuator moves at ~0.1-1 mm/s).
+    min_position_m, max_position_m:
+        Travel limits; positions are magnet gaps in metres.
+    position_m:
+        Current position (defaults to the maximum gap, i.e. un-tuned).
+    supply_power_w:
+        Electrical power drawn while moving (used for energy accounting in
+        the analysis layer; the circuit-level effect comes from Req).
+    """
+
+    speed_m_per_s: float
+    min_position_m: float
+    max_position_m: float
+    position_m: Optional[float] = None
+    supply_power_w: float = 0.2
+    _target_m: Optional[float] = field(default=None, repr=False)
+    _last_update_time: float = field(default=0.0, repr=False)
+    energy_consumed_j: float = field(default=0.0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.speed_m_per_s <= 0.0:
+            raise ConfigurationError("actuator speed must be positive")
+        if not self.min_position_m < self.max_position_m:
+            raise ConfigurationError("actuator travel limits are inverted")
+        if self.position_m is None:
+            self.position_m = self.max_position_m
+        if not self.min_position_m <= self.position_m <= self.max_position_m:
+            raise ConfigurationError("initial actuator position outside travel")
+        if self.supply_power_w < 0.0:
+            raise ConfigurationError("supply power must be non-negative")
+
+    # ------------------------------------------------------------------ #
+    # commands
+    # ------------------------------------------------------------------ #
+    def command(self, target_m: float, t: float) -> float:
+        """Command a move to ``target_m`` starting at time ``t``.
+
+        Returns the expected travel duration in seconds.
+        """
+        target = min(max(target_m, self.min_position_m), self.max_position_m)
+        self.update(t)
+        self._target_m = target
+        return abs(target - self.position_m) / self.speed_m_per_s
+
+    def cancel(self, t: float) -> None:
+        """Stop the current move, keeping the present position."""
+        self.update(t)
+        self._target_m = None
+
+    # ------------------------------------------------------------------ #
+    # time evolution
+    # ------------------------------------------------------------------ #
+    def update(self, t: float) -> float:
+        """Advance the actuator to time ``t`` and return its position."""
+        dt = t - self._last_update_time
+        if dt < 0.0:
+            raise ConfigurationError(
+                f"actuator asked to move backwards in time ({t} < {self._last_update_time})"
+            )
+        if dt > 0.0 and self._target_m is not None:
+            travel = self.speed_m_per_s * dt
+            distance = self._target_m - self.position_m
+            if abs(distance) <= travel:
+                moving_time = abs(distance) / self.speed_m_per_s
+                self.position_m = self._target_m
+                self._target_m = None
+                self.energy_consumed_j += self.supply_power_w * moving_time
+            else:
+                self.position_m += travel if distance > 0 else -travel
+                self.energy_consumed_j += self.supply_power_w * dt
+        self._last_update_time = t
+        return self.position_m
+
+    @property
+    def is_moving(self) -> bool:
+        """Whether a move command is still in progress."""
+        return self._target_m is not None
+
+    def time_to_target(self) -> float:
+        """Remaining travel time for the current command (0 when idle)."""
+        if self._target_m is None:
+            return 0.0
+        return abs(self._target_m - self.position_m) / self.speed_m_per_s

@@ -1,0 +1,66 @@
+"""Equivalent load resistor and microcontroller operating modes (Eq. 16).
+
+The power drawn by the microcontroller and the tuning actuator is modelled
+by an equivalent resistance across the storage element whose value depends
+on the current operating mode:
+
+====================  =================
+mode                  Req
+====================  =================
+sleep                 1.0e9 ohm
+awake (measuring)     33 ohm
+tuning (actuator on)  16.7 ohm
+====================  =================
+
+The digital controller switches the mode through the supercapacitor
+block's ``load_resistance`` control input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..core.errors import ConfigurationError
+
+__all__ = ["OperatingMode", "LoadProfile"]
+
+
+class OperatingMode(Enum):
+    """Operating modes of the microcontroller + actuator subsystem."""
+
+    SLEEP = "sleep"
+    AWAKE = "awake"
+    TUNING = "tuning"
+
+
+@dataclass(frozen=True)
+class LoadProfile:
+    """Equivalent load resistance for each operating mode (Eq. 16)."""
+
+    sleep_ohm: float = 1.0e9
+    awake_ohm: float = 33.0
+    tuning_ohm: float = 16.7
+
+    def __post_init__(self) -> None:
+        for label, value in (
+            ("sleep_ohm", self.sleep_ohm),
+            ("awake_ohm", self.awake_ohm),
+            ("tuning_ohm", self.tuning_ohm),
+        ):
+            if value <= 0.0:
+                raise ConfigurationError(f"{label} must be positive, got {value}")
+
+    def resistance(self, mode: OperatingMode) -> float:
+        """Equivalent resistance for ``mode``."""
+        if mode is OperatingMode.SLEEP:
+            return self.sleep_ohm
+        if mode is OperatingMode.AWAKE:
+            return self.awake_ohm
+        if mode is OperatingMode.TUNING:
+            return self.tuning_ohm
+        raise ConfigurationError(f"unknown operating mode {mode!r}")
+
+    def power_at(self, mode: OperatingMode, voltage: float) -> float:
+        """Power drawn from the storage element in ``mode`` at ``voltage``."""
+        return voltage * voltage / self.resistance(mode)

@@ -1,0 +1,226 @@
+"""Microcontroller tuning process — the digital part of the harvester (Fig. 7).
+
+The microcontroller is purely digital, so it carries no state equations;
+it is a :class:`~repro.core.digital.DigitalProcess` driven by a watchdog
+timer.  Its behaviour follows the paper's flow chart:
+
+1. the watchdog timer wakes the microcontroller periodically;
+2. it first checks whether the supercapacitor holds enough energy — if
+   not, it goes straight back to sleep;
+3. with enough energy it wakes fully (load switches to the *awake*
+   resistance), measures the ambient vibration frequency and compares it
+   with the microgenerator's resonant frequency;
+4. if they differ by more than a tolerance it starts the tuning process:
+   the load switches to the *tuning* resistance, the linear actuator moves
+   the tuning magnet towards the position whose magnetic force re-tunes the
+   cantilever (Eq. 12), and the generator's ``tuning_force`` control is
+   updated as the magnet travels;
+5. when the actuator reaches its target the controller returns the load to
+   the sleep value and waits for the next watchdog period.
+
+Probes read: ``storage_voltage``, ``ambient_frequency``,
+``resonant_frequency``.  Controls written: ``load_resistance``,
+``tuning_force``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional, Tuple
+
+from ..core.digital import AnalogueInterface, DigitalProcess
+from ..core.errors import ConfigurationError
+from .actuator import LinearActuator
+from .load import LoadProfile, OperatingMode
+from .tuning import MagneticTuningModel
+
+__all__ = ["ControllerSettings", "ControllerState", "TuningController"]
+
+
+class ControllerState(Enum):
+    """Internal state of the tuning controller's state machine."""
+
+    SLEEPING = "sleeping"
+    MEASURING = "measuring"
+    TUNING = "tuning"
+
+
+@dataclass
+class ControllerSettings:
+    """Behavioural parameters of the tuning controller.
+
+    Attributes
+    ----------
+    watchdog_period_s:
+        Sleep interval between watchdog wake-ups.
+    wake_voltage_v:
+        Minimum supercapacitor voltage required to attempt a measurement.
+    abort_voltage_v:
+        Voltage below which an in-progress tuning is abandoned.
+    frequency_tolerance_hz:
+        Mismatch (|ambient - resonant|) below which no tuning is started.
+    measurement_duration_s:
+        Time spent awake measuring the ambient frequency before deciding.
+    tuning_poll_interval_s:
+        Interval at which the controller updates the tuning force while the
+        actuator is travelling.
+    """
+
+    watchdog_period_s: float = 5.0
+    wake_voltage_v: float = 1.8
+    abort_voltage_v: float = 0.5
+    frequency_tolerance_hz: float = 0.25
+    measurement_duration_s: float = 0.5
+    tuning_poll_interval_s: float = 0.25
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on inconsistent settings."""
+        if self.watchdog_period_s <= 0.0:
+            raise ConfigurationError("watchdog period must be positive")
+        if self.wake_voltage_v < 0.0:
+            raise ConfigurationError("wake voltage must be non-negative")
+        if self.abort_voltage_v < 0.0:
+            raise ConfigurationError("abort voltage must be non-negative")
+        if self.abort_voltage_v > self.wake_voltage_v:
+            raise ConfigurationError("abort voltage must not exceed wake voltage")
+        if self.frequency_tolerance_hz <= 0.0:
+            raise ConfigurationError("frequency tolerance must be positive")
+        if self.measurement_duration_s <= 0.0:
+            raise ConfigurationError("measurement duration must be positive")
+        if self.tuning_poll_interval_s <= 0.0:
+            raise ConfigurationError("tuning poll interval must be positive")
+
+
+class TuningController(DigitalProcess):
+    """The microcontroller digital process implementing Fig. 7."""
+
+    def __init__(
+        self,
+        tuning_model: MagneticTuningModel,
+        actuator: LinearActuator,
+        settings: Optional[ControllerSettings] = None,
+        load_profile: LoadProfile = LoadProfile(),
+        name: str = "mcu",
+        start_time: float = 0.0,
+    ) -> None:
+        super().__init__(name, start_time=start_time)
+        self.tuning_model = tuning_model
+        self.actuator = actuator
+        self.settings = settings or ControllerSettings()
+        self.settings.validate()
+        self.load_profile = load_profile
+        self.state = ControllerState.SLEEPING
+        self._current_req: Optional[float] = None
+        self._target_frequency_hz: Optional[float] = None
+        # bookkeeping for tests and analysis
+        self.n_wakeups = 0
+        self.n_measurements = 0
+        self.n_tunings_started = 0
+        self.n_tunings_completed = 0
+        self.n_tunings_aborted = 0
+        self.event_log: List[Tuple[float, str]] = []
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def _log(self, t: float, message: str) -> None:
+        self.event_log.append((t, message))
+
+    def _set_mode(self, analogue: AnalogueInterface, mode: OperatingMode) -> None:
+        req = self.load_profile.resistance(mode)
+        if self._current_req is None or req != self._current_req:
+            analogue.write("load_resistance", req)
+            self._current_req = req
+
+    def _apply_gap(self, analogue: AnalogueInterface, gap_m: float) -> None:
+        force = self.tuning_model.force_from_gap(gap_m)
+        analogue.write("tuning_force", force)
+
+    # ------------------------------------------------------------------ #
+    # the state machine
+    # ------------------------------------------------------------------ #
+    def execute(self, t: float, analogue: AnalogueInterface) -> Optional[float]:
+        settings = self.settings
+        if self.state is ControllerState.SLEEPING:
+            return self._on_watchdog(t, analogue)
+        if self.state is ControllerState.MEASURING:
+            return self._on_measurement_done(t, analogue)
+        if self.state is ControllerState.TUNING:
+            return self._on_tuning_poll(t, analogue)
+        raise ConfigurationError(f"controller in unknown state {self.state!r}")
+
+    def _on_watchdog(self, t: float, analogue: AnalogueInterface) -> float:
+        settings = self.settings
+        self.n_wakeups += 1
+        storage_voltage = analogue.read("storage_voltage")
+        if storage_voltage < settings.wake_voltage_v:
+            # not enough energy: stay asleep until the next watchdog period
+            self._log(t, f"watchdog: V={storage_voltage:.3f} V below wake threshold")
+            self._set_mode(analogue, OperatingMode.SLEEP)
+            return settings.watchdog_period_s
+        # enough energy: wake up fully and measure the ambient frequency
+        self._log(t, f"watchdog: waking up at V={storage_voltage:.3f} V")
+        self._set_mode(analogue, OperatingMode.AWAKE)
+        self.state = ControllerState.MEASURING
+        return settings.measurement_duration_s
+
+    def _on_measurement_done(self, t: float, analogue: AnalogueInterface) -> float:
+        settings = self.settings
+        self.n_measurements += 1
+        ambient = analogue.read("ambient_frequency")
+        resonant = analogue.read("resonant_frequency")
+        mismatch = abs(ambient - resonant)
+        if mismatch <= settings.frequency_tolerance_hz:
+            self._log(
+                t,
+                f"measured ambient {ambient:.2f} Hz ~ resonant {resonant:.2f} Hz; sleeping",
+            )
+            self._set_mode(analogue, OperatingMode.SLEEP)
+            self.state = ControllerState.SLEEPING
+            return settings.watchdog_period_s
+        # frequency mismatch: start the tuning process
+        f_min, f_max = self.tuning_model.frequency_range()
+        target = min(max(ambient, f_min), f_max)
+        self._target_frequency_hz = target
+        gap = self.tuning_model.gap_for_frequency(target)
+        travel_time = self.actuator.command(gap, t)
+        self.n_tunings_started += 1
+        self._log(
+            t,
+            f"tuning started: ambient {ambient:.2f} Hz, resonant {resonant:.2f} Hz, "
+            f"target gap {gap * 1e3:.2f} mm ({travel_time:.2f} s travel)",
+        )
+        self._set_mode(analogue, OperatingMode.TUNING)
+        self.state = ControllerState.TUNING
+        return min(settings.tuning_poll_interval_s, max(travel_time, 1e-6))
+
+    def _on_tuning_poll(self, t: float, analogue: AnalogueInterface) -> float:
+        settings = self.settings
+        storage_voltage = analogue.read("storage_voltage")
+        position = self.actuator.update(t)
+        # track the actual magnet position with the tuning force control
+        self._apply_gap(analogue, position)
+        if storage_voltage < settings.abort_voltage_v:
+            # the storage collapsed: abort and recover
+            self.actuator.cancel(t)
+            self.n_tunings_aborted += 1
+            self._log(t, f"tuning aborted: V={storage_voltage:.3f} V")
+            self._set_mode(analogue, OperatingMode.SLEEP)
+            self.state = ControllerState.SLEEPING
+            self._target_frequency_hz = None
+            return settings.watchdog_period_s
+        if self.actuator.is_moving:
+            return settings.tuning_poll_interval_s
+        # finished: report and go back to sleep
+        self.n_tunings_completed += 1
+        resonant = analogue.read("resonant_frequency")
+        self._log(
+            t,
+            f"tuning complete: resonant frequency now {resonant:.2f} Hz "
+            f"(target {self._target_frequency_hz:.2f} Hz)",
+        )
+        self._set_mode(analogue, OperatingMode.SLEEP)
+        self.state = ControllerState.SLEEPING
+        self._target_frequency_hz = None
+        return settings.watchdog_period_s

@@ -1,0 +1,155 @@
+"""Piezoelectric microgenerator block (extension).
+
+The paper's conclusion notes that the linearised state-space approach "is a
+generic approach which can be applied to other types of microgenerators
+such as electrostatic or piezoelectric.  All that is required are the model
+equations of each component block".  This module supplies those equations
+for the standard lumped piezoelectric harvester model:
+
+.. math::
+
+   m \\ddot z + c \\dot z + k z + \\Theta V_p = F_a \\\\
+   C_p \\dot V_p = \\Theta \\dot z - I_m
+
+where ``Theta`` is the electromechanical coupling coefficient and ``C_p``
+the piezo clamp capacitance.  State variables: ``z``, ``v``, ``Vp``;
+terminal variables: ``Vm``, ``Im`` with the constraint ``Vm = Vp``.
+
+The block exposes the same ``tuning_force`` control and resonance
+properties as the electromagnetic generator so it can be dropped into the
+same harvester assembly (electrical-stiffness tuning of piezo harvesters
+behaves analogously at this abstraction level).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..core.block import AnalogueBlock, BlockLinearisation
+from ..core.errors import ConfigurationError
+
+__all__ = ["PiezoelectricParameters", "PiezoelectricMicrogenerator"]
+
+
+@dataclass(frozen=True)
+class PiezoelectricParameters:
+    """Lumped parameters of a cantilever piezoelectric harvester."""
+
+    proof_mass_kg: float = 0.008
+    parasitic_damping: float = 0.05
+    spring_stiffness: float = 1500.0
+    coupling_n_per_v: float = 1.5e-3
+    clamp_capacitance_f: float = 60e-9
+    buckling_load_n: float = 1.0
+
+    def __post_init__(self) -> None:
+        checks = (
+            ("proof_mass_kg", self.proof_mass_kg),
+            ("spring_stiffness", self.spring_stiffness),
+            ("coupling_n_per_v", self.coupling_n_per_v),
+            ("clamp_capacitance_f", self.clamp_capacitance_f),
+            ("buckling_load_n", self.buckling_load_n),
+        )
+        for label, value in checks:
+            if value <= 0.0:
+                raise ConfigurationError(f"{label} must be positive, got {value}")
+        if self.parasitic_damping < 0.0:
+            raise ConfigurationError("parasitic damping must be non-negative")
+
+    @property
+    def untuned_frequency_hz(self) -> float:
+        """Short-circuit resonant frequency of the mechanical resonator."""
+        return math.sqrt(self.spring_stiffness / self.proof_mass_kg) / (2.0 * math.pi)
+
+
+class PiezoelectricMicrogenerator(AnalogueBlock):
+    """Piezoelectric harvester with the same port contract as the EM generator."""
+
+    def __init__(
+        self,
+        params: PiezoelectricParameters,
+        acceleration: Callable[[float], float],
+        name: str = "piezo",
+    ) -> None:
+        super().__init__(
+            name,
+            state_names=("z", "velocity", "Vp"),
+            terminal_names=("Vm", "Im"),
+            terminal_kinds=("voltage", "current"),
+            n_algebraic=1,
+        )
+        self.params = params
+        self._acceleration = acceleration
+        self._tuning_force = 0.0
+
+    # ------------------------------------------------------------------ #
+    # tuning interface (mirrors the electromagnetic generator)
+    # ------------------------------------------------------------------ #
+    @property
+    def tuning_force(self) -> float:
+        """Currently applied tuning force (N)."""
+        return self._tuning_force
+
+    @property
+    def effective_stiffness(self) -> float:
+        """Tuned stiffness following the Eq. (12) law."""
+        return self.params.spring_stiffness * (
+            1.0 + self._tuning_force / self.params.buckling_load_n
+        )
+
+    @property
+    def resonant_frequency_hz(self) -> float:
+        """Current (tuned) resonant frequency."""
+        return math.sqrt(self.effective_stiffness / self.params.proof_mass_kg) / (
+            2.0 * math.pi
+        )
+
+    def apply_control(self, name: str, value: float) -> None:
+        if name == "tuning_force":
+            if value < 0.0:
+                raise ConfigurationError("tuning force must be non-negative")
+            self._tuning_force = float(value)
+            return
+        super().apply_control(name, value)
+
+    # ------------------------------------------------------------------ #
+    # model equations
+    # ------------------------------------------------------------------ #
+    def _matrices(self, t: float):
+        p = self.params
+        m = p.proof_mass_kg
+        jxx = np.array(
+            [
+                [0.0, 1.0, 0.0],
+                [-self.effective_stiffness / m, -p.parasitic_damping / m, -p.coupling_n_per_v / m],
+                [0.0, p.coupling_n_per_v / p.clamp_capacitance_f, 0.0],
+            ]
+        )
+        jxy = np.array(
+            [
+                [0.0, 0.0],
+                [0.0, 0.0],
+                [0.0, -1.0 / p.clamp_capacitance_f],
+            ]
+        )
+        ex = np.array([0.0, float(self._acceleration(t)), 0.0])
+        return jxx, jxy, ex
+
+    def derivatives(self, t: float, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        jxx, jxy, ex = self._matrices(t)
+        return jxx @ x + jxy @ y + ex
+
+    def algebraic_residual(self, t: float, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        # terminal voltage equals the piezo capacitance voltage
+        return np.array([y[0] - x[2]])
+
+    def linearise(self, t: float, x: np.ndarray, y: np.ndarray) -> BlockLinearisation:
+        jxx, jxy, ex = self._matrices(t)
+        jyx = np.array([[0.0, 0.0, -1.0]])
+        jyy = np.array([[1.0, 0.0]])
+        ey = np.zeros(1)
+        return BlockLinearisation(jxx=jxx, jxy=jxy, ex=ex, jyx=jyx, jyy=jyy, ey=ey)

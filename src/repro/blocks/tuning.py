@@ -1,0 +1,131 @@
+"""Magnetic tuning model: force-vs-gap law and resonant-frequency shift.
+
+Eq. (12) of the paper relates the tuned resonant frequency to the axial
+tuning force between the two tuning magnets:
+
+.. math::
+
+   f_r' = f_r \\sqrt{1 + F_t / F_b}
+
+where ``f_r`` is the untuned resonant frequency and ``F_b`` the buckling
+load of the cantilever.  The tuning force itself is set by the gap between
+the cantilever-tip magnet and the magnet carried by the linear actuator; as
+in Zhu et al. the attraction between two axially magnetised magnets falls
+off steeply with separation, modelled here by the inverse-power law
+``F_t(d) = k_m / d^n`` (n = 4 for the far-field dipole approximation).
+
+:class:`MagneticTuningModel` provides both the forward maps (gap -> force
+-> frequency) and their inverses, which is what the microcontroller needs
+when it decides where to move the actuator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.errors import ConfigurationError
+
+__all__ = ["MagneticTuningModel"]
+
+
+@dataclass(frozen=True)
+class MagneticTuningModel:
+    """Gap-to-force-to-frequency model of the magnetic tuning mechanism.
+
+    Attributes
+    ----------
+    untuned_frequency_hz:
+        Resonant frequency ``f_r`` with the tuning magnets far apart.
+    buckling_load_n:
+        Cantilever buckling load ``F_b`` in newtons (Eq. 12).
+    force_constant:
+        ``k_m`` of the force law ``F_t = k_m / d^exponent`` (N * m^exponent).
+    exponent:
+        Power-law exponent ``n`` (4 for the dipole far-field).
+    min_gap_m, max_gap_m:
+        Mechanical travel limits of the actuator-driven magnet.
+    """
+
+    untuned_frequency_hz: float
+    buckling_load_n: float
+    force_constant: float
+    exponent: float = 4.0
+    min_gap_m: float = 0.5e-3
+    max_gap_m: float = 30e-3
+
+    def __post_init__(self) -> None:
+        if self.untuned_frequency_hz <= 0.0:
+            raise ConfigurationError("untuned frequency must be positive")
+        if self.buckling_load_n <= 0.0:
+            raise ConfigurationError("buckling load must be positive")
+        if self.force_constant <= 0.0:
+            raise ConfigurationError("force constant must be positive")
+        if self.exponent <= 0.0:
+            raise ConfigurationError("force-law exponent must be positive")
+        if not 0.0 < self.min_gap_m < self.max_gap_m:
+            raise ConfigurationError("gap limits must satisfy 0 < min < max")
+
+    # ------------------------------------------------------------------ #
+    # forward maps
+    # ------------------------------------------------------------------ #
+    def force_from_gap(self, gap_m: float) -> float:
+        """Axial tuning force ``F_t`` (N) for magnet separation ``gap_m``."""
+        gap = min(max(gap_m, self.min_gap_m), self.max_gap_m)
+        return self.force_constant / gap**self.exponent
+
+    def frequency_from_force(self, force_n: float) -> float:
+        """Tuned resonant frequency for tuning force ``force_n`` (Eq. 12)."""
+        ratio = 1.0 + force_n / self.buckling_load_n
+        if ratio <= 0.0:
+            raise ConfigurationError(
+                f"tuning force {force_n} N exceeds the compressive buckling limit"
+            )
+        return self.untuned_frequency_hz * math.sqrt(ratio)
+
+    def frequency_from_gap(self, gap_m: float) -> float:
+        """Tuned resonant frequency for magnet separation ``gap_m``."""
+        return self.frequency_from_force(self.force_from_gap(gap_m))
+
+    # ------------------------------------------------------------------ #
+    # inverse maps (used by the tuning controller)
+    # ------------------------------------------------------------------ #
+    def force_for_frequency(self, target_hz: float) -> float:
+        """Tuning force needed to reach ``target_hz`` (Eq. 12 inverted)."""
+        if target_hz < self.untuned_frequency_hz:
+            raise ConfigurationError(
+                f"target {target_hz} Hz is below the untuned frequency "
+                f"{self.untuned_frequency_hz} Hz; attractive tuning can only "
+                "raise the resonant frequency"
+            )
+        ratio = (target_hz / self.untuned_frequency_hz) ** 2
+        return self.buckling_load_n * (ratio - 1.0)
+
+    def gap_for_force(self, force_n: float) -> float:
+        """Magnet separation that yields ``force_n`` (clipped to travel)."""
+        if force_n <= 0.0:
+            return self.max_gap_m
+        gap = (self.force_constant / force_n) ** (1.0 / self.exponent)
+        return min(max(gap, self.min_gap_m), self.max_gap_m)
+
+    def gap_for_frequency(self, target_hz: float) -> float:
+        """Magnet separation that tunes the harvester to ``target_hz``."""
+        return self.gap_for_force(self.force_for_frequency(target_hz))
+
+    # ------------------------------------------------------------------ #
+    # tuning range
+    # ------------------------------------------------------------------ #
+    def frequency_range(self) -> tuple:
+        """``(f_min, f_max)`` achievable over the actuator travel."""
+        f_min = self.frequency_from_gap(self.max_gap_m)
+        f_max = self.frequency_from_gap(self.min_gap_m)
+        return (f_min, f_max)
+
+    def tuning_range_hz(self) -> float:
+        """Width of the achievable tuning range in Hz.
+
+        The practical harvester of the paper has a maximum tuning range of
+        14 Hz (Scenario 2 exercises the full range).
+        """
+        f_min, f_max = self.frequency_range()
+        return f_max - f_min

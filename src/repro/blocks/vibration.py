@@ -1,0 +1,165 @@
+"""Ambient vibration sources.
+
+The microgenerator is excited by the acceleration of its base.  The paper's
+scenarios use a sinusoidal ambient vibration whose frequency steps from one
+value to another (70 -> 71 Hz in Scenario 1, a 14 Hz shift in Scenario 2);
+the tuning controller then re-tunes the harvester to the new frequency.
+
+:class:`VibrationSource` produces the base acceleration ``a(t)`` and exposes
+the instantaneous ambient frequency — the quantity a real system would
+estimate from the generator waveform and that the microcontroller probe
+reads.  Frequency changes preserve phase continuity so that the excitation
+waveform has no jump at the switching instant.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.errors import ConfigurationError
+
+__all__ = ["FrequencyStep", "VibrationSource", "MultiToneVibrationSource"]
+
+
+@dataclass(frozen=True)
+class FrequencyStep:
+    """A scheduled change of the ambient vibration."""
+
+    time: float
+    frequency_hz: float
+    amplitude_ms2: Optional[float] = None
+
+
+class VibrationSource:
+    """Single-tone sinusoidal base acceleration with scheduled changes.
+
+    Parameters
+    ----------
+    frequency_hz:
+        Initial ambient frequency.
+    amplitude_ms2:
+        Acceleration amplitude in m/s^2 (peak).
+    steps:
+        Optional schedule of :class:`FrequencyStep` changes, applied in time
+        order.  Phase is kept continuous across each change.
+    """
+
+    def __init__(
+        self,
+        frequency_hz: float,
+        amplitude_ms2: float,
+        steps: Optional[Sequence[FrequencyStep]] = None,
+    ) -> None:
+        if frequency_hz <= 0.0:
+            raise ConfigurationError("ambient frequency must be positive")
+        if amplitude_ms2 < 0.0:
+            raise ConfigurationError("acceleration amplitude must be non-negative")
+        self._initial_frequency = float(frequency_hz)
+        self._initial_amplitude = float(amplitude_ms2)
+        schedule = sorted(steps or [], key=lambda s: s.time)
+        for step in schedule:
+            if step.time < 0.0:
+                raise ConfigurationError("frequency steps must occur at t >= 0")
+            if step.frequency_hz <= 0.0:
+                raise ConfigurationError("stepped frequency must be positive")
+        self._steps: List[FrequencyStep] = list(schedule)
+        # precompute segment boundaries with accumulated phase for continuity
+        self._segments = self._build_segments()
+
+    def _build_segments(self) -> List[Tuple[float, float, float, float]]:
+        """Return segments as ``(t_start, frequency, amplitude, phase_at_start)``."""
+        segments: List[Tuple[float, float, float, float]] = []
+        t_prev = 0.0
+        freq = self._initial_frequency
+        amp = self._initial_amplitude
+        phase = 0.0
+        segments.append((t_prev, freq, amp, phase))
+        for step in self._steps:
+            # accumulate phase up to the step time with the old frequency
+            phase = phase + 2.0 * math.pi * freq * (step.time - t_prev)
+            t_prev = step.time
+            freq = step.frequency_hz
+            if step.amplitude_ms2 is not None:
+                amp = step.amplitude_ms2
+            segments.append((t_prev, freq, amp, phase))
+        return segments
+
+    def _segment_at(self, t: float) -> Tuple[float, float, float, float]:
+        current = self._segments[0]
+        for segment in self._segments:
+            if segment[0] <= t:
+                current = segment
+            else:
+                break
+        return current
+
+    # ------------------------------------------------------------------ #
+    # public interface
+    # ------------------------------------------------------------------ #
+    def frequency(self, t: float) -> float:
+        """Instantaneous ambient frequency in Hz at time ``t``."""
+        return self._segment_at(t)[1]
+
+    def amplitude(self, t: float) -> float:
+        """Instantaneous acceleration amplitude (m/s^2) at time ``t``."""
+        return self._segment_at(t)[2]
+
+    def acceleration(self, t: float) -> float:
+        """Base acceleration ``a(t)`` in m/s^2 (phase-continuous)."""
+        t_start, freq, amp, phase = self._segment_at(t)
+        return amp * math.sin(phase + 2.0 * math.pi * freq * (t - t_start))
+
+    def step_times(self) -> List[float]:
+        """Times at which the ambient excitation changes."""
+        return [step.time for step in self._steps]
+
+    def __call__(self, t: float) -> float:
+        return self.acceleration(t)
+
+
+class MultiToneVibrationSource:
+    """Superposition of several sinusoidal tones (broadband-ish ambient).
+
+    Useful for the design-exploration example: real environments rarely
+    contain a single clean tone, and the tuning controller must lock onto
+    the dominant one.
+    """
+
+    def __init__(self, tones: Sequence[Tuple[float, float]]) -> None:
+        """``tones`` is a sequence of ``(frequency_hz, amplitude_ms2)`` pairs."""
+        if not tones:
+            raise ConfigurationError("at least one tone is required")
+        for freq, amp in tones:
+            if freq <= 0.0:
+                raise ConfigurationError("tone frequency must be positive")
+            if amp < 0.0:
+                raise ConfigurationError("tone amplitude must be non-negative")
+        self._tones = [(float(f), float(a)) for f, a in tones]
+
+    @property
+    def tones(self) -> List[Tuple[float, float]]:
+        """The ``(frequency, amplitude)`` pairs of this source."""
+        return list(self._tones)
+
+    def dominant_frequency(self) -> float:
+        """Frequency of the strongest tone (what a tuner should target)."""
+        return max(self._tones, key=lambda tone: tone[1])[0]
+
+    def frequency(self, t: float) -> float:
+        """Report the dominant frequency (time-invariant for this source)."""
+        return self.dominant_frequency()
+
+    def amplitude(self, t: float) -> float:
+        """Amplitude of the dominant tone."""
+        return max(self._tones, key=lambda tone: tone[1])[1]
+
+    def acceleration(self, t: float) -> float:
+        """Sum of all tones at time ``t``."""
+        return sum(
+            amp * math.sin(2.0 * math.pi * freq * t) for freq, amp in self._tones
+        )
+
+    def __call__(self, t: float) -> float:
+        return self.acceleration(t)

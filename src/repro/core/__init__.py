@@ -1,0 +1,116 @@
+"""Core simulation engine: the paper's linearised state-space technique.
+
+Public surface:
+
+* block framework — :class:`AnalogueBlock`, :class:`LinearBlock`,
+  :class:`Netlist`, :class:`SystemAssembler`
+* integration — :func:`make_integrator`, :class:`AdamsBashforth`,
+  :class:`ForwardEuler`, :class:`RungeKutta2`, :class:`RungeKutta4`
+* the solver — :class:`LinearisedStateSpaceSolver`, :class:`SolverSettings`
+* digital kernel — :class:`DigitalEventKernel`, :class:`DigitalProcess`,
+  :class:`AnalogueInterface`
+* support — :class:`PWLTable`, :class:`CompanionTable`, stability helpers,
+  result containers
+"""
+
+from .block import AnalogueBlock, BlockLinearisation, LinearBlock, Terminal
+from .digital import AnalogueInterface, DigitalEventKernel, DigitalProcess
+from .elimination import GlobalLinearisation, ReducedSystem, SystemAssembler
+from .errors import (
+    ConfigurationError,
+    ConnectionError_,
+    ConvergenceError,
+    SimulationError,
+    SingularSystemError,
+    StabilityError,
+    StepSizeError,
+    TableRangeError,
+)
+from .integrators import (
+    AdamsBashforth,
+    BackwardEuler,
+    ExplicitIntegrator,
+    ForwardEuler,
+    RungeKutta2,
+    RungeKutta4,
+    Trapezoidal,
+    make_integrator,
+)
+from .lle import LLEMonitor, LLESample
+from .linearise import finite_difference_jacobian, linearise_block, linearise_block_numerically
+from .netlist import Net, Netlist
+from .pwl import CompanionTable, PWLTable, build_companion_table, build_table
+from .results import SimulationResult, SolverStats, Stopwatch, Trace, TraceRecorder
+from .solver import LinearisedStateSpaceSolver, SolverSettings
+from .stability import (
+    diagonal_dominance_step_limit,
+    is_diagonally_dominant,
+    is_spectrally_stable,
+    minimum_time_constant,
+    spectral_radius,
+    spectral_step_limit,
+    stiffness_ratio,
+)
+from .stepper import StepControlSettings, StepSizeController
+
+__all__ = [
+    # block framework
+    "AnalogueBlock",
+    "BlockLinearisation",
+    "LinearBlock",
+    "Terminal",
+    "Net",
+    "Netlist",
+    "SystemAssembler",
+    "GlobalLinearisation",
+    "ReducedSystem",
+    # integration
+    "ExplicitIntegrator",
+    "ForwardEuler",
+    "AdamsBashforth",
+    "RungeKutta2",
+    "RungeKutta4",
+    "BackwardEuler",
+    "Trapezoidal",
+    "make_integrator",
+    # solver
+    "LinearisedStateSpaceSolver",
+    "SolverSettings",
+    "StepControlSettings",
+    "StepSizeController",
+    "LLEMonitor",
+    "LLESample",
+    # digital
+    "DigitalEventKernel",
+    "DigitalProcess",
+    "AnalogueInterface",
+    # support
+    "PWLTable",
+    "CompanionTable",
+    "build_table",
+    "build_companion_table",
+    "finite_difference_jacobian",
+    "linearise_block",
+    "linearise_block_numerically",
+    "SimulationResult",
+    "SolverStats",
+    "Trace",
+    "TraceRecorder",
+    "Stopwatch",
+    "spectral_radius",
+    "spectral_step_limit",
+    "is_spectrally_stable",
+    "is_diagonally_dominant",
+    "diagonal_dominance_step_limit",
+    "minimum_time_constant",
+    "stiffness_ratio",
+    # errors
+    "SimulationError",
+    "ConfigurationError",
+    "ConnectionError_",
+    "SingularSystemError",
+    "StabilityError",
+    "ConvergenceError",
+    "StepSizeError",
+    "TableRangeError",
+]

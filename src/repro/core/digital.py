@@ -1,0 +1,175 @@
+"""Discrete-event digital kernel for the mixed-technology simulation.
+
+Section III-D of the paper: "Since the microcontroller is purely digital,
+there are no state equations needed to model the microcontroller.  [...]
+Standard SystemC modules were used to model the digital control process."
+
+This module provides the Python equivalent of that digital kernel: a small
+discrete-event scheduler in which :class:`DigitalProcess` objects wake up
+at scheduled times, inspect the analogue solution through an
+:class:`AnalogueInterface`, drive control inputs of analogue blocks (load
+mode, tuning force, actuator position) and re-schedule themselves — the
+watchdog-timer behaviour of the paper's Fig. 7.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .errors import ConfigurationError
+
+__all__ = ["AnalogueInterface", "DigitalProcess", "DigitalEventKernel"]
+
+
+class AnalogueInterface:
+    """What a digital process is allowed to see and touch.
+
+    The solver constructs one interface per simulation and keeps it up to
+    date; digital processes receive it in :meth:`DigitalProcess.execute`.
+
+    * **probes** are read-only named callables returning the present value
+      of an analogue quantity (a state variable, a terminal variable, or a
+      derived quantity such as the ambient vibration frequency);
+    * **controls** are named callables that push a value into an analogue
+      block (ultimately calling ``AnalogueBlock.apply_control``).
+
+    The interface records whether any control was written during the
+    current digital activation so that the analogue solver knows a
+    discontinuity occurred and can restart its multi-step history.
+    """
+
+    def __init__(self) -> None:
+        self._probes: Dict[str, Callable[[], float]] = {}
+        self._controls: Dict[str, Callable[[float], None]] = {}
+        self._dirty = False
+
+    # -- registration (solver side) ------------------------------------ #
+    def register_probe(self, name: str, getter: Callable[[], float]) -> None:
+        """Expose a read-only analogue quantity to the digital side."""
+        if name in self._probes:
+            raise ConfigurationError(f"duplicate probe name {name!r}")
+        self._probes[name] = getter
+
+    def register_control(self, name: str, setter: Callable[[float], None]) -> None:
+        """Expose a controllable analogue parameter to the digital side."""
+        if name in self._controls:
+            raise ConfigurationError(f"duplicate control name {name!r}")
+        self._controls[name] = setter
+
+    # -- access (digital side) ------------------------------------------ #
+    def read(self, name: str) -> float:
+        """Read the current value of probe ``name``."""
+        try:
+            getter = self._probes[name]
+        except KeyError:
+            available = ", ".join(sorted(self._probes))
+            raise ConfigurationError(
+                f"unknown probe {name!r}; available probes: {available}"
+            ) from None
+        return float(getter())
+
+    def write(self, name: str, value: float) -> None:
+        """Write ``value`` to control ``name`` (marks the model dirty)."""
+        try:
+            setter = self._controls[name]
+        except KeyError:
+            available = ", ".join(sorted(self._controls))
+            raise ConfigurationError(
+                f"unknown control {name!r}; available controls: {available}"
+            ) from None
+        setter(float(value))
+        self._dirty = True
+
+    def probe_names(self) -> List[str]:
+        """Sorted list of registered probe names."""
+        return sorted(self._probes)
+
+    def control_names(self) -> List[str]:
+        """Sorted list of registered control names."""
+        return sorted(self._controls)
+
+    # -- discontinuity bookkeeping --------------------------------------- #
+    def consume_dirty_flag(self) -> bool:
+        """Return whether any control was written since the last call, and clear it."""
+        dirty, self._dirty = self._dirty, False
+        return dirty
+
+
+class DigitalProcess(ABC):
+    """A digital behaviour that wakes at discrete times.
+
+    Subclasses implement :meth:`execute`, which runs instantaneously in
+    simulated time and returns the delay (in seconds) until the process
+    wants to wake again, or ``None`` to stop being scheduled.
+    """
+
+    def __init__(self, name: str, start_time: float = 0.0) -> None:
+        if not name:
+            raise ConfigurationError("digital process name must be non-empty")
+        self.name = name
+        self.start_time = float(start_time)
+
+    @abstractmethod
+    def execute(self, t: float, analogue: AnalogueInterface) -> Optional[float]:
+        """Run the process at simulated time ``t``.
+
+        Returns the delay until the next activation, or ``None`` to
+        deactivate the process permanently.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class DigitalEventKernel:
+    """Priority-queue scheduler for :class:`DigitalProcess` activations."""
+
+    def __init__(self) -> None:
+        self._queue: List[Tuple[float, int, DigitalProcess]] = []
+        self._sequence = itertools.count()
+        self.n_activations = 0
+
+    def schedule(self, process: DigitalProcess, time: float) -> None:
+        """Schedule ``process`` to run at absolute simulated ``time``."""
+        if time < 0.0:
+            raise ConfigurationError(f"cannot schedule at negative time {time}")
+        heapq.heappush(self._queue, (float(time), next(self._sequence), process))
+
+    def add_process(self, process: DigitalProcess) -> None:
+        """Register a process at its own declared start time."""
+        self.schedule(process, process.start_time)
+
+    def next_event_time(self) -> Optional[float]:
+        """Time of the earliest pending activation, or ``None`` if idle."""
+        if not self._queue:
+            return None
+        return self._queue[0][0]
+
+    def has_pending(self) -> bool:
+        """Whether any activation is still scheduled."""
+        return bool(self._queue)
+
+    def run_due(self, t: float, analogue: AnalogueInterface) -> bool:
+        """Run every activation scheduled at or before time ``t``.
+
+        Returns ``True`` if any process wrote to an analogue control, i.e.
+        the analogue model changed discontinuously and the solver must
+        restart its integrator history.
+        """
+        model_changed = False
+        while self._queue and self._queue[0][0] <= t + 1e-15:
+            event_time, _, process = heapq.heappop(self._queue)
+            self.n_activations += 1
+            delay = process.execute(event_time, analogue)
+            if analogue.consume_dirty_flag():
+                model_changed = True
+            if delay is not None:
+                if delay <= 0.0:
+                    raise ConfigurationError(
+                        f"process {process.name!r} returned non-positive delay {delay}"
+                    )
+                self.schedule(process, event_time + delay)
+        return model_changed

@@ -1,0 +1,315 @@
+"""System assembly and automatic elimination of non-state variables.
+
+Section III-E of the paper: "When combining the three component blocks
+together, the terminal variables of each component block will be
+represented by state variables and eliminated.  This enables the whole
+energy harvester model to be described by state equations [...]".
+
+The :class:`SystemAssembler` gathers the per-block linearisations into the
+global linearised model of Eq. (2),
+
+.. math::
+
+   \\begin{bmatrix}\\dot x \\\\ 0\\end{bmatrix} =
+   \\begin{bmatrix}J_{xx} & J_{xy} \\\\ J_{yx} & J_{yy}\\end{bmatrix}
+   \\begin{bmatrix}x \\\\ y\\end{bmatrix} +
+   \\begin{bmatrix}e_x \\\\ e_y\\end{bmatrix}
+
+solves the algebraic part ``J_yy y = -(J_yx x + e_y)`` for the terminal
+variables (Eq. 4) and substitutes back, yielding the reduced state model
+
+.. math::
+
+   \\dot x = A_r x + b_r, \\qquad
+   A_r = J_{xx} - J_{xy} J_{yy}^{-1} J_{yx}, \\quad
+   b_r = e_x - J_{xy} J_{yy}^{-1} e_y
+
+which is what the explicit integrator advances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .block import AnalogueBlock, BlockLinearisation
+from .errors import SingularSystemError
+from .linearise import linearise_block
+from .netlist import Net, Netlist
+
+__all__ = ["GlobalLinearisation", "ReducedSystem", "SystemAssembler"]
+
+
+@dataclass
+class GlobalLinearisation:
+    """The assembled global Jacobian blocks of Eq. (2) at one time point."""
+
+    jxx: np.ndarray
+    jxy: np.ndarray
+    ex: np.ndarray
+    jyx: np.ndarray
+    jyy: np.ndarray
+    ey: np.ndarray
+
+    @property
+    def n_states(self) -> int:
+        """Dimension of the global state vector."""
+        return self.jxx.shape[0]
+
+    @property
+    def n_terminals(self) -> int:
+        """Number of global shared terminal (non-state) variables."""
+        return self.jyy.shape[1]
+
+
+@dataclass
+class ReducedSystem:
+    """Pure state-space model after terminal-variable elimination.
+
+    ``dx/dt = a_reduced @ x + b_reduced``; ``y_solution`` holds the value
+    of the eliminated terminal variables at the linearisation point so that
+    they can still be probed and recorded.
+    """
+
+    a_reduced: np.ndarray
+    b_reduced: np.ndarray
+    y_solution: np.ndarray
+    elimination_matrix: np.ndarray
+    elimination_offset: np.ndarray
+
+    def derivative(self, x: np.ndarray) -> np.ndarray:
+        """State derivative of the reduced model at state ``x``."""
+        return self.a_reduced @ x + self.b_reduced
+
+    def terminal_values(self, x: np.ndarray) -> np.ndarray:
+        """Terminal variables implied by state ``x`` under the local model."""
+        return self.elimination_matrix @ x + self.elimination_offset
+
+
+class SystemAssembler:
+    """Maps block-local variables into the global system and eliminates ``y``.
+
+    Parameters
+    ----------
+    netlist:
+        A validated :class:`Netlist` containing all blocks and connections.
+    """
+
+    def __init__(self, netlist: Netlist) -> None:
+        netlist.validate()
+        self._netlist = netlist
+        self._blocks: List[AnalogueBlock] = netlist.blocks
+        self._nets: List[Net] = netlist.build_nets()
+        self._terminal_to_net: Dict[str, int] = netlist.terminal_index_map()
+
+        # global state indexing: concatenate block states in block order
+        self._state_offsets: Dict[str, int] = {}
+        offset = 0
+        for block in self._blocks:
+            self._state_offsets[block.name] = offset
+            offset += block.n_states
+        self._n_states = offset
+        self._n_terminals = len(self._nets)
+
+        # algebraic equation row offsets per block
+        self._alg_offsets: Dict[str, int] = {}
+        row = 0
+        for block in self._blocks:
+            self._alg_offsets[block.name] = row
+            row += block.n_algebraic
+        self._n_algebraic = row
+
+        # per-block terminal gather matrices: local y = P_block @ global y
+        self._terminal_maps: Dict[str, np.ndarray] = {}
+        for block in self._blocks:
+            indices = [
+                self._terminal_to_net[str(block.terminal(tname))]
+                for tname in block.terminal_names
+            ]
+            self._terminal_maps[block.name] = np.asarray(indices, dtype=int)
+
+    # ------------------------------------------------------------------ #
+    # structural queries
+    # ------------------------------------------------------------------ #
+    @property
+    def n_states(self) -> int:
+        """Total number of global state variables."""
+        return self._n_states
+
+    @property
+    def n_terminals(self) -> int:
+        """Total number of global shared terminal variables."""
+        return self._n_terminals
+
+    @property
+    def blocks(self) -> List[AnalogueBlock]:
+        """Blocks in assembly order."""
+        return list(self._blocks)
+
+    @property
+    def nets(self) -> List[Net]:
+        """Shared terminal nets in assembly order."""
+        return list(self._nets)
+
+    def state_names(self) -> List[str]:
+        """Qualified (``block.state``) names of the global state vector."""
+        names: List[str] = []
+        for block in self._blocks:
+            names.extend(block.qualified_state_names())
+        return names
+
+    def net_names(self) -> List[str]:
+        """Names of the global terminal variables."""
+        return [net.name for net in self._nets]
+
+    def state_slice(self, block_name: str) -> slice:
+        """Slice of the global state vector owned by ``block_name``."""
+        offset = self._state_offsets[block_name]
+        block = self._netlist.block(block_name)
+        return slice(offset, offset + block.n_states)
+
+    def state_index(self, block_name: str, state_name: str) -> int:
+        """Global index of a specific block state variable."""
+        block = self._netlist.block(block_name)
+        local = block.state_names.index(state_name)
+        return self._state_offsets[block_name] + local
+
+    def net_index(self, block_name: str, terminal_name: str) -> int:
+        """Global terminal-variable index seen by ``block.terminal``."""
+        block = self._netlist.block(block_name)
+        return self._terminal_to_net[str(block.terminal(terminal_name))]
+
+    # ------------------------------------------------------------------ #
+    # local/global scatter-gather
+    # ------------------------------------------------------------------ #
+    def gather_local_state(self, block: AnalogueBlock, x_global: np.ndarray) -> np.ndarray:
+        """Extract the block's local state sub-vector from the global state."""
+        return x_global[self.state_slice(block.name)]
+
+    def gather_local_terminals(
+        self, block: AnalogueBlock, y_global: np.ndarray
+    ) -> np.ndarray:
+        """Extract the block's local terminal vector from the global one."""
+        return y_global[self._terminal_maps[block.name]]
+
+    def initial_state(self) -> np.ndarray:
+        """Concatenate the blocks' initial states into the global vector."""
+        x0 = np.zeros(self._n_states)
+        for block in self._blocks:
+            x0[self.state_slice(block.name)] = block.initial_state()
+        return x0
+
+    # ------------------------------------------------------------------ #
+    # assembly and elimination
+    # ------------------------------------------------------------------ #
+    def assemble(
+        self, t: float, x_global: np.ndarray, y_global: np.ndarray
+    ) -> GlobalLinearisation:
+        """Linearise every block and scatter into the global Jacobian blocks."""
+        jxx = np.zeros((self._n_states, self._n_states))
+        jxy = np.zeros((self._n_states, self._n_terminals))
+        ex = np.zeros(self._n_states)
+        jyx = np.zeros((self._n_algebraic, self._n_states))
+        jyy = np.zeros((self._n_algebraic, self._n_terminals))
+        ey = np.zeros(self._n_algebraic)
+
+        for block in self._blocks:
+            x_local = self.gather_local_state(block, x_global)
+            y_local = self.gather_local_terminals(block, y_global)
+            lin: BlockLinearisation = linearise_block(block, t, x_local, y_local)
+
+            s = self.state_slice(block.name)
+            terminal_idx = self._terminal_maps[block.name]
+            jxx[s, s] = lin.jxx
+            ex[s] = lin.ex
+            if block.n_terminals:
+                jxy[s.start : s.stop, terminal_idx] += lin.jxy
+            if block.n_algebraic:
+                r0 = self._alg_offsets[block.name]
+                rows = slice(r0, r0 + block.n_algebraic)
+                jyx[rows, s] = lin.jyx
+                if block.n_terminals:
+                    jyy[r0 : r0 + block.n_algebraic, terminal_idx] += lin.jyy
+                ey[rows] = lin.ey
+
+        return GlobalLinearisation(jxx=jxx, jxy=jxy, ex=ex, jyx=jyx, jyy=jyy, ey=ey)
+
+    def eliminate(self, lin: GlobalLinearisation, x_global: np.ndarray) -> ReducedSystem:
+        """Solve Eq. (4) for the terminal variables and reduce the model.
+
+        Raises :class:`SingularSystemError` when ``J_yy`` is singular, which
+        indicates a wiring problem (floating port, conflicting sources).
+        """
+        jyy = lin.jyy
+        if jyy.shape[0] != jyy.shape[1]:
+            raise SingularSystemError(
+                f"algebraic system is not square ({jyy.shape[0]}x{jyy.shape[1]})"
+            )
+        if jyy.size == 0:
+            a_reduced = lin.jxx
+            b_reduced = lin.ex
+            empty = np.zeros((0,))
+            return ReducedSystem(
+                a_reduced=a_reduced,
+                b_reduced=b_reduced,
+                y_solution=empty,
+                elimination_matrix=np.zeros((0, lin.n_states)),
+                elimination_offset=empty,
+            )
+        try:
+            # y = -Jyy^{-1} (Jyx x + ey)  =  M x + c
+            jyy_inv_jyx = np.linalg.solve(jyy, lin.jyx)
+            jyy_inv_ey = np.linalg.solve(jyy, lin.ey)
+        except np.linalg.LinAlgError as exc:
+            raise SingularSystemError(
+                "terminal-variable elimination failed: J_yy is singular "
+                f"({exc}); check block wiring"
+            ) from exc
+        elimination_matrix = -jyy_inv_jyx
+        elimination_offset = -jyy_inv_ey
+        y_solution = elimination_matrix @ x_global + elimination_offset
+        a_reduced = lin.jxx + lin.jxy @ elimination_matrix
+        b_reduced = lin.ex + lin.jxy @ elimination_offset
+        return ReducedSystem(
+            a_reduced=a_reduced,
+            b_reduced=b_reduced,
+            y_solution=y_solution,
+            elimination_matrix=elimination_matrix,
+            elimination_offset=elimination_offset,
+        )
+
+    def reduce(
+        self, t: float, x_global: np.ndarray, y_global: Optional[np.ndarray] = None
+    ) -> ReducedSystem:
+        """Convenience: assemble then eliminate in one call."""
+        if y_global is None:
+            y_global = np.zeros(self._n_terminals)
+        lin = self.assemble(t, x_global, y_global)
+        return self.eliminate(lin, x_global)
+
+    # ------------------------------------------------------------------ #
+    # nonlinear residual evaluation (used by the implicit baselines)
+    # ------------------------------------------------------------------ #
+    def full_residual(
+        self, t: float, x_global: np.ndarray, y_global: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Evaluate the exact (non-linearised) ``f_x`` and ``f_y`` globally.
+
+        Returns ``(dxdt, residual_y)``.  The implicit Newton-Raphson
+        baseline uses this to iterate on the true nonlinear equations, as a
+        conventional HDL/SPICE simulator would.
+        """
+        dxdt = np.zeros(self._n_states)
+        res_y = np.zeros(self._n_algebraic)
+        for block in self._blocks:
+            x_local = self.gather_local_state(block, x_global)
+            y_local = self.gather_local_terminals(block, y_global)
+            dxdt[self.state_slice(block.name)] = block.derivatives(t, x_local, y_local)
+            if block.n_algebraic:
+                r0 = self._alg_offsets[block.name]
+                res_y[r0 : r0 + block.n_algebraic] = block.algebraic_residual(
+                    t, x_local, y_local
+                )
+        return dxdt, res_y

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the repro simulation engine.
+
+All engine-specific failures derive from :class:`SimulationError` so that
+callers can distinguish engine problems from ordinary Python errors with a
+single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for every error raised by the simulation engine."""
+
+
+class ConfigurationError(SimulationError):
+    """A model or solver was constructed with inconsistent parameters."""
+
+
+class ConnectionError_(SimulationError):
+    """Blocks were wired together incorrectly (dangling or mismatched ports).
+
+    The trailing underscore avoids shadowing the builtin ``ConnectionError``
+    which has unrelated OS-level semantics.
+    """
+
+
+class SingularSystemError(SimulationError):
+    """The algebraic sub-system ``Jyy * y = -Jyx * x`` is singular.
+
+    This occurs when terminal variables cannot be eliminated, typically
+    because a port is left floating or two ideal sources are in conflict.
+    """
+
+
+class StabilityError(SimulationError):
+    """The explicit integration became unstable (step size too large)."""
+
+
+class ConvergenceError(SimulationError):
+    """An iterative solver (Newton-Raphson baseline) failed to converge."""
+
+
+class StepSizeError(SimulationError):
+    """The adaptive step controller could not find an acceptable step."""
+
+
+class TableRangeError(SimulationError):
+    """A piecewise-linear lookup was requested outside the table domain
+    while extrapolation was disabled."""

@@ -1,0 +1,56 @@
+"""Time-integration formulas.
+
+Explicit methods (used by the proposed linearised state-space technique):
+
+* :class:`ForwardEuler` — the simplest explicit formula;
+* :class:`AdamsBashforth` — variable-step multi-step formula of order 1-5,
+  the method used in the paper's case study (Eq. 5);
+* :class:`RungeKutta2` / :class:`RungeKutta4` — single-step alternatives.
+
+Implicit methods (used by the Newton-Raphson baselines that stand in for
+SystemVision / PSPICE):
+
+* :class:`BackwardEuler`
+* :class:`Trapezoidal`
+"""
+
+from .base import ExplicitIntegrator, IntegratorState
+from .forward_euler import ForwardEuler
+from .adams_bashforth import AdamsBashforth, adams_bashforth_coefficients
+from .runge_kutta import RungeKutta2, RungeKutta4
+from .implicit import BackwardEuler, Trapezoidal, ImplicitFormula
+
+__all__ = [
+    "ExplicitIntegrator",
+    "IntegratorState",
+    "ForwardEuler",
+    "AdamsBashforth",
+    "adams_bashforth_coefficients",
+    "RungeKutta2",
+    "RungeKutta4",
+    "BackwardEuler",
+    "Trapezoidal",
+    "ImplicitFormula",
+    "make_integrator",
+]
+
+
+def make_integrator(name: str, **kwargs):
+    """Factory: build an explicit integrator from its configuration name.
+
+    Recognised names: ``"forward_euler"``, ``"adams_bashforth"`` (accepts an
+    ``order`` keyword), ``"rk2"``, ``"rk4"``.
+    """
+    key = name.strip().lower().replace("-", "_")
+    if key in ("forward_euler", "euler", "fe"):
+        return ForwardEuler()
+    if key in ("adams_bashforth", "ab"):
+        return AdamsBashforth(**kwargs)
+    if key in ("rk2", "runge_kutta2", "heun"):
+        return RungeKutta2()
+    if key in ("rk4", "runge_kutta4"):
+        return RungeKutta4()
+    raise ValueError(
+        f"unknown integrator {name!r}; expected one of forward_euler, "
+        "adams_bashforth, rk2, rk4"
+    )

@@ -1,0 +1,107 @@
+"""Common interface for the explicit march-in-time integrators.
+
+The linearised state-space solver evaluates the reduced derivative
+``f(t, x) = A_r x + b_r`` once per step (after terminal-variable
+elimination) and hands it to an :class:`ExplicitIntegrator` which produces
+the state at the next time point in a single feed-forward computation —
+no Newton iteration, which is the source of the speed-up reported in the
+paper.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["DerivativeFn", "IntegratorState", "ExplicitIntegrator"]
+
+# f(t, x) -> dx/dt
+DerivativeFn = Callable[[float, np.ndarray], np.ndarray]
+
+
+@dataclass
+class IntegratorState:
+    """History carried between steps by multi-step methods.
+
+    ``history`` holds ``(t, f(t, x))`` pairs for the most recent accepted
+    steps, newest last.  Single-step methods ignore it.
+    """
+
+    history: Deque[Tuple[float, np.ndarray]] = field(default_factory=deque)
+
+    def push(self, t: float, derivative: np.ndarray, max_length: int) -> None:
+        """Record an accepted derivative sample, keeping at most ``max_length``."""
+        self.history.append((t, np.asarray(derivative, dtype=float).copy()))
+        while len(self.history) > max_length:
+            self.history.popleft()
+
+    def clear(self) -> None:
+        """Drop all history (used after discontinuities / digital events)."""
+        self.history.clear()
+
+    def __len__(self) -> int:
+        return len(self.history)
+
+
+class ExplicitIntegrator(ABC):
+    """Base class for explicit one-step and multi-step formulas."""
+
+    #: human-readable identifier used in reports and benchmark tables
+    name: str = "explicit"
+
+    #: formal order of accuracy (local truncation error is O(h^(order+1)))
+    order: int = 1
+
+    #: extent of the stability region along the negative real axis of the
+    #: ``h * lambda`` plane (2.0 for Forward Euler)
+    stability_real_extent: float = 2.0
+
+    #: extent of the stability region along the imaginary axis; zero for
+    #: formulas whose region only touches the axis (FE, AB2).  Lightly
+    #: damped oscillatory modes (the harvester's mechanical resonance) need
+    #: a formula with a non-zero imaginary extent (AB3+, RK4).
+    stability_imag_extent: float = 0.0
+
+    def new_state(self) -> IntegratorState:
+        """Create a fresh (empty) history object for a new simulation."""
+        return IntegratorState()
+
+    @abstractmethod
+    def step(
+        self,
+        func: DerivativeFn,
+        t: float,
+        x: np.ndarray,
+        h: float,
+        state: Optional[IntegratorState] = None,
+    ) -> np.ndarray:
+        """Advance the state from ``t`` to ``t + h``.
+
+        Parameters
+        ----------
+        func:
+            Derivative function ``f(t, x)``.
+        t, x:
+            Current time and state.
+        h:
+            Step size (must be positive).
+        state:
+            Multi-step history; may be ``None`` for single-step methods.
+        """
+
+    def notify_discontinuity(self, state: Optional[IntegratorState]) -> None:
+        """Inform the integrator that the model changed discontinuously.
+
+        Multi-step methods must discard their derivative history because it
+        was produced by a different vector field (e.g. after the
+        microcontroller switches the load resistance).
+        """
+        if state is not None:
+            state.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"{type(self).__name__}(order={self.order})"

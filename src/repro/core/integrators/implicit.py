@@ -1,0 +1,68 @@
+"""Implicit integration formulas used by the Newton-Raphson baselines.
+
+Conventional analogue/mixed-signal simulators (SystemVision, PSPICE)
+discretise the differential equations with an implicit formula (backward
+Euler or trapezoidal) and solve the resulting nonlinear algebraic system
+with Newton-Raphson at every time step — the expensive process the paper's
+technique avoids.  These classes only describe the *formula*; the actual
+Newton iteration lives in :mod:`repro.baselines.newton_raphson`.
+
+For a formula written as ``x_{n+1} = x_n + h * (theta * f_{n+1} + (1-theta) * f_n)``:
+
+* backward Euler: ``theta = 1``
+* trapezoidal:    ``theta = 1/2``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ImplicitFormula", "BackwardEuler", "Trapezoidal"]
+
+
+@dataclass(frozen=True)
+class ImplicitFormula:
+    """A theta-method implicit discretisation.
+
+    The residual whose root Newton-Raphson must find at each step is
+
+    ``R(x_{n+1}) = x_{n+1} - x_n - h*(theta*f(t_{n+1}, x_{n+1}) + (1-theta)*f(t_n, x_n))``
+    """
+
+    name: str
+    theta: float
+    order: int
+
+    def residual(
+        self,
+        x_next: np.ndarray,
+        f_next: np.ndarray,
+        x_current: np.ndarray,
+        f_current: np.ndarray,
+        h: float,
+    ) -> np.ndarray:
+        """Evaluate the discretisation residual for a candidate ``x_{n+1}``."""
+        return (
+            x_next
+            - x_current
+            - h * (self.theta * f_next + (1.0 - self.theta) * f_current)
+        )
+
+    def jacobian(self, df_dx_next: np.ndarray, h: float) -> np.ndarray:
+        """Jacobian of the residual w.r.t. ``x_{n+1}``: ``I - h*theta*df/dx``."""
+        n = df_dx_next.shape[0]
+        return np.eye(n) - h * self.theta * df_dx_next
+
+    def explicit_part_weight(self) -> float:
+        """Weight of the already-known derivative ``f_n`` in the update."""
+        return 1.0 - self.theta
+
+
+#: Backward (implicit) Euler: first order, L-stable, the SPICE default
+#: for badly behaved circuits.
+BackwardEuler = ImplicitFormula(name="backward_euler", theta=1.0, order=1)
+
+#: Trapezoidal rule: second order, A-stable, the SPICE default method.
+Trapezoidal = ImplicitFormula(name="trapezoidal", theta=0.5, order=2)

@@ -1,0 +1,181 @@
+"""Netlist: wiring of block terminals into shared system-level variables.
+
+Fig. 3 of the paper shows the harvester's analogue blocks connected through
+terminal variables (``Vm``/``Im`` between the microgenerator and the
+voltage multiplier, ``Vc``/``Ic`` between the multiplier and the
+supercapacitor).  A :class:`Netlist` records which terminals are tied
+together; every equivalence class of connected terminals becomes one
+global non-state variable ``y_k`` of the assembled system.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .block import AnalogueBlock, Terminal
+from .errors import ConfigurationError, ConnectionError_
+
+__all__ = ["Net", "Netlist"]
+
+
+class Net:
+    """One equivalence class of connected terminals (a shared variable)."""
+
+    def __init__(self, name: str, terminals: Sequence[Terminal]) -> None:
+        self.name = name
+        self.terminals: Tuple[Terminal, ...] = tuple(terminals)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        members = ", ".join(str(t) for t in self.terminals)
+        return f"Net({self.name!r}: {members})"
+
+
+class Netlist:
+    """Union-find style registry of terminal connections.
+
+    Usage::
+
+        net = Netlist()
+        net.add_block(generator)
+        net.add_block(multiplier)
+        net.connect(generator.terminal("Vm"), multiplier.terminal("Vm"))
+        net.connect(generator.terminal("Im"), multiplier.terminal("Im"))
+        nets = net.build_nets()
+    """
+
+    def __init__(self) -> None:
+        self._blocks: Dict[str, AnalogueBlock] = {}
+        self._parent: Dict[str, str] = {}
+        self._terminal_by_key: Dict[str, Terminal] = {}
+        self._net_names: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------ #
+    # block management
+    # ------------------------------------------------------------------ #
+    def add_block(self, block: AnalogueBlock) -> AnalogueBlock:
+        """Register a block and all its terminals; returns the block."""
+        if block.name in self._blocks:
+            raise ConfigurationError(f"duplicate block name {block.name!r}")
+        self._blocks[block.name] = block
+        for tname in block.terminal_names:
+            terminal = block.terminal(tname)
+            key = str(terminal)
+            self._parent[key] = key
+            self._terminal_by_key[key] = terminal
+        return block
+
+    @property
+    def blocks(self) -> List[AnalogueBlock]:
+        """Blocks in insertion order."""
+        return list(self._blocks.values())
+
+    def block(self, name: str) -> AnalogueBlock:
+        """Look up a registered block by name."""
+        try:
+            return self._blocks[name]
+        except KeyError:
+            raise ConfigurationError(f"no block named {name!r} in netlist") from None
+
+    # ------------------------------------------------------------------ #
+    # union-find
+    # ------------------------------------------------------------------ #
+    def _find(self, key: str) -> str:
+        root = key
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # path compression
+        while self._parent[key] != root:
+            self._parent[key], key = root, self._parent[key]
+        return root
+
+    def connect(self, a: Terminal, b: Terminal, *, net_name: Optional[str] = None) -> None:
+        """Tie terminals ``a`` and ``b`` together into one shared variable."""
+        key_a, key_b = str(a), str(b)
+        for key, terminal in ((key_a, a), (key_b, b)):
+            if key not in self._parent:
+                raise ConnectionError_(
+                    f"terminal {terminal} belongs to a block that was not added "
+                    "to the netlist"
+                )
+        if a.kind != b.kind:
+            raise ConnectionError_(
+                f"cannot connect {a} ({a.kind}) to {b} ({b.kind}): kinds differ"
+            )
+        root_a, root_b = self._find(key_a), self._find(key_b)
+        if root_a != root_b:
+            self._parent[root_b] = root_a
+        if net_name is not None:
+            self._net_names[self._find(key_a)] = net_name
+
+    def connect_port(
+        self,
+        block_a: AnalogueBlock,
+        block_b: AnalogueBlock,
+        voltage: Tuple[str, str],
+        current: Tuple[str, str],
+        *,
+        net_prefix: Optional[str] = None,
+    ) -> None:
+        """Connect a two-terminal port (voltage + current pair) between blocks.
+
+        ``voltage`` and ``current`` are ``(terminal_of_a, terminal_of_b)``
+        name pairs.  This is the common case in the harvester where a port
+        carries one shared voltage and one shared current variable.
+        """
+        v_name = f"{net_prefix}_V" if net_prefix else None
+        i_name = f"{net_prefix}_I" if net_prefix else None
+        self.connect(
+            block_a.terminal(voltage[0]), block_b.terminal(voltage[1]), net_name=v_name
+        )
+        self.connect(
+            block_a.terminal(current[0]), block_b.terminal(current[1]), net_name=i_name
+        )
+
+    # ------------------------------------------------------------------ #
+    # net extraction
+    # ------------------------------------------------------------------ #
+    def build_nets(self) -> List[Net]:
+        """Group terminals into nets, in deterministic (insertion) order."""
+        groups: Dict[str, List[Terminal]] = {}
+        order: List[str] = []
+        for key in self._parent:
+            root = self._find(key)
+            if root not in groups:
+                groups[root] = []
+                order.append(root)
+            groups[root].append(self._terminal_by_key[key])
+        nets = []
+        for root in order:
+            terminals = groups[root]
+            name = self._net_names.get(root)
+            if name is None:
+                # default name: block.terminal of the first member
+                name = str(terminals[0])
+            nets.append(Net(name, terminals))
+        return nets
+
+    def terminal_index_map(self) -> Dict[str, int]:
+        """Map every terminal key (``block.terminal``) to its net index."""
+        nets = self.build_nets()
+        mapping: Dict[str, int] = {}
+        for idx, net in enumerate(nets):
+            for terminal in net.terminals:
+                mapping[str(terminal)] = idx
+        return mapping
+
+    def validate(self) -> None:
+        """Check that the wiring yields a solvable algebraic system.
+
+        The assembled algebraic system has one unknown per net and one
+        equation per block-declared algebraic constraint; these counts must
+        match for the elimination step (Eq. 4) to have a unique solution.
+        """
+        n_unknowns = len(self.build_nets())
+        n_equations = sum(block.n_algebraic for block in self._blocks.values())
+        if n_unknowns != n_equations:
+            raise ConnectionError_(
+                f"algebraic system is not square: {n_unknowns} shared terminal "
+                f"variables but {n_equations} algebraic equations; check that "
+                "every port is connected and every block declares the right "
+                "number of constraints"
+            )

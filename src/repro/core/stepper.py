@@ -1,0 +1,209 @@
+"""Adaptive step-size control for the explicit march-in-time sweep.
+
+The paper controls the step size through two mechanisms:
+
+1. **Stability** — the step must keep the point total-step matrix
+   ``I + h A`` contractive (Eq. 7), ensured cheaply through diagonal
+   dominance because the analogue blocks are passive.
+2. **Accuracy** — the local linearisation error (Eq. 3) is "controlled by
+   monitoring the changes in the Jacobian elements"; when the Jacobians
+   change quickly the step is reduced, when they barely change the step
+   may grow.
+
+:class:`StepSizeController` combines both into a single ``propose`` call
+used by the solver each step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .errors import ConfigurationError, StepSizeError
+from .stability import diagonal_dominance_step_limit, integrator_step_limit
+
+__all__ = ["StepControlSettings", "StepSizeController"]
+
+
+@dataclass
+class StepControlSettings:
+    """User-facing knobs of the adaptive step controller.
+
+    Attributes
+    ----------
+    h_initial:
+        First step size of the march.
+    h_min, h_max:
+        Hard bounds on the step size.
+    safety:
+        Multiplier (< 1) applied to the theoretical stability limit.
+    growth_limit:
+        Maximum factor by which the step may grow between consecutive
+        accepted steps (prevents over-shooting right after a slow phase).
+    shrink_limit:
+        Maximum factor by which the step may shrink in a single adjustment.
+    jacobian_change_target:
+        Relative Jacobian change per step that the accuracy control aims
+        for; larger observed changes shrink the step proportionally.
+    use_spectral_limit:
+        When ``True`` (default) the controller uses the eigenvalue-based
+        bound tailored to the integrator's stability region (accurate but
+        O(n^3) per evaluation, mitigated by caching); when ``False`` it
+        uses the cheap diagonal-dominance bound the paper recommends for
+        passive systems.
+    stability_recompute_threshold:
+        Relative Jacobian change above which the (expensive) eigenvalue
+        bound is recomputed; below it the cached bound is reused.
+    """
+
+    h_initial: float = 1e-4
+    h_min: float = 1e-9
+    h_max: float = 1e-2
+    safety: float = 0.8
+    growth_limit: float = 2.0
+    shrink_limit: float = 0.1
+    jacobian_change_target: float = 0.1
+    use_spectral_limit: bool = True
+    stability_recompute_threshold: float = 0.02
+
+    def validate(self) -> None:
+        """Sanity-check the settings, raising :class:`ConfigurationError`."""
+        if self.h_initial <= 0.0:
+            raise ConfigurationError("h_initial must be positive")
+        if self.h_min <= 0.0 or self.h_max <= 0.0:
+            raise ConfigurationError("h_min and h_max must be positive")
+        if self.h_min > self.h_max:
+            raise ConfigurationError("h_min must not exceed h_max")
+        if not 0.0 < self.safety <= 1.0:
+            raise ConfigurationError("safety must lie in (0, 1]")
+        if self.growth_limit < 1.0:
+            raise ConfigurationError("growth_limit must be >= 1")
+        if not 0.0 < self.shrink_limit <= 1.0:
+            raise ConfigurationError("shrink_limit must lie in (0, 1]")
+        if self.jacobian_change_target <= 0.0:
+            raise ConfigurationError("jacobian_change_target must be positive")
+        if self.stability_recompute_threshold < 0.0:
+            raise ConfigurationError("stability_recompute_threshold must be >= 0")
+
+
+class StepSizeController:
+    """Proposes the next step size from stability and accuracy information.
+
+    Parameters
+    ----------
+    settings:
+        Step-control settings.
+    integrator:
+        The explicit integrator whose stability region bounds the step.
+        When omitted, Forward-Euler-like extents (2, 0) are assumed.
+    """
+
+    def __init__(
+        self,
+        settings: Optional[StepControlSettings] = None,
+        integrator=None,
+    ) -> None:
+        self.settings = settings or StepControlSettings()
+        self.settings.validate()
+        self._real_extent = getattr(integrator, "stability_real_extent", 2.0)
+        self._imag_extent = getattr(integrator, "stability_imag_extent", 0.0)
+        self._h_current = self.settings.h_initial
+        self._previous_jacobian: Optional[np.ndarray] = None
+        self._stability_jacobian: Optional[np.ndarray] = None
+        self._cached_stability_limit: Optional[float] = None
+
+    @property
+    def current_step(self) -> float:
+        """The most recently proposed step size."""
+        return self._h_current
+
+    def reset(self, h: Optional[float] = None) -> None:
+        """Reset the controller (e.g. after a digital-event discontinuity)."""
+        self._h_current = h if h is not None else self.settings.h_initial
+        self._previous_jacobian = None
+        self._stability_jacobian = None
+        self._cached_stability_limit = None
+
+    # ------------------------------------------------------------------ #
+    # individual criteria
+    # ------------------------------------------------------------------ #
+    def stability_limit(self, a_reduced: np.ndarray) -> float:
+        """Largest stable step for the current reduced system matrix.
+
+        The eigenvalue-based bound is only recomputed when the Jacobian has
+        drifted by more than ``stability_recompute_threshold`` since the
+        last computation; otherwise the cached value is reused.
+        """
+        settings = self.settings
+        if not settings.use_spectral_limit:
+            return diagonal_dominance_step_limit(a_reduced, safety=settings.safety)
+        if self._cached_stability_limit is not None and self._stability_jacobian is not None:
+            scale = np.linalg.norm(self._stability_jacobian)
+            if scale == 0.0:
+                scale = 1.0
+            drift = np.linalg.norm(a_reduced - self._stability_jacobian) / scale
+            if drift <= settings.stability_recompute_threshold:
+                return self._cached_stability_limit
+        limit = integrator_step_limit(
+            a_reduced,
+            real_extent=self._real_extent,
+            imag_extent=self._imag_extent,
+            safety=settings.safety,
+        )
+        self._stability_jacobian = np.array(a_reduced, dtype=float, copy=True)
+        self._cached_stability_limit = limit
+        return limit
+
+    def jacobian_change(self, a_reduced: np.ndarray) -> float:
+        """Relative change of the reduced Jacobian since the previous step."""
+        if self._previous_jacobian is None:
+            return 0.0
+        previous = self._previous_jacobian
+        scale = np.linalg.norm(previous)
+        if scale == 0.0:
+            scale = 1.0
+        return float(np.linalg.norm(a_reduced - previous) / scale)
+
+    # ------------------------------------------------------------------ #
+    # main entry point
+    # ------------------------------------------------------------------ #
+    def propose(self, a_reduced: np.ndarray, *, t_remaining: Optional[float] = None) -> float:
+        """Return the step size to use for the next explicit step.
+
+        Parameters
+        ----------
+        a_reduced:
+            Reduced system matrix ``A_r`` at the current time point.
+        t_remaining:
+            Time left until the simulation (or the next digital event);
+            the proposed step never overshoots it.
+        """
+        settings = self.settings
+        h = self._h_current
+
+        # accuracy control: shrink/grow according to the observed Jacobian drift
+        change = self.jacobian_change(a_reduced)
+        if change > settings.jacobian_change_target:
+            factor = max(
+                settings.shrink_limit, settings.jacobian_change_target / change
+            )
+            h = h * factor
+        else:
+            h = h * settings.growth_limit
+
+        # stability control
+        h_stable = self.stability_limit(a_reduced)
+        h = min(h, h_stable, settings.h_max)
+        h = max(h, settings.h_min)
+
+        if t_remaining is not None and t_remaining > 0.0:
+            h = min(h, t_remaining)
+
+        if h <= 0.0 or not np.isfinite(h):
+            raise StepSizeError(f"step controller produced invalid step {h!r}")
+
+        self._previous_jacobian = np.array(a_reduced, dtype=float, copy=True)
+        self._h_current = h
+        return h

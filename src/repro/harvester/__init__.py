@@ -1,0 +1,34 @@
+"""Complete tunable energy harvester assembly and evaluation scenarios."""
+
+from .config import (
+    ExcitationConfig,
+    HarvesterConfig,
+    TuningMechanismConfig,
+    paper_harvester,
+)
+from .scenarios import (
+    Scenario,
+    charging_scenario,
+    run_baseline,
+    run_proposed,
+    run_reference,
+    scenario_1,
+    scenario_2,
+)
+from .system import TunableEnergyHarvester, default_solver_settings
+
+__all__ = [
+    "ExcitationConfig",
+    "HarvesterConfig",
+    "TuningMechanismConfig",
+    "paper_harvester",
+    "Scenario",
+    "charging_scenario",
+    "run_baseline",
+    "run_proposed",
+    "run_reference",
+    "scenario_1",
+    "scenario_2",
+    "TunableEnergyHarvester",
+    "default_solver_settings",
+]

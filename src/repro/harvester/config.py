@@ -1,0 +1,184 @@
+"""Configuration of the complete tunable energy harvesting system.
+
+The paper's case study is the autonomous tunable electromagnetic harvester
+of Ayala-Garcia et al. (PowerMEMS 2009) / Zhu et al. (2010).  The exact
+device parameters are not printed in the DATE 2011 paper, so the defaults
+below are chosen to match the quantities the paper does report:
+
+* un-tuned resonant frequency around 64 Hz with a ~14 Hz maximum tuning
+  range (Scenario 2 exercises the full range, Scenario 1 a 1 Hz step
+  around 70 Hz);
+* microgenerator RMS output power of roughly 110-120 microwatts when tuned
+  to the ambient frequency at an excitation of ~0.6 m/s^2;
+* equivalent load resistances of 1 GOhm / 33 Ohm / 16.7 Ohm for the sleep
+  / awake / tuning modes (Eq. 16);
+* a Zubieta three-branch supercapacitor as the storage element.
+
+The storage element and the digital time constants are *scaled* relative to
+the physical device (which charges for hours): see
+``HarvesterConfig.time_scale_note``.  The scaling preserves every
+behavioural feature the paper evaluates (tuning dips, recovery, relative
+solver cost) while keeping pure-Python simulations tractable; EXPERIMENTS.md
+records the scaling next to each reproduced figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..blocks.diode import DiodeParameters
+from ..blocks.load import LoadProfile
+from ..blocks.microcontroller import ControllerSettings
+from ..blocks.microgenerator import MicrogeneratorParameters
+from ..blocks.supercapacitor import SupercapacitorParameters
+from ..core.errors import ConfigurationError
+
+__all__ = ["TuningMechanismConfig", "ExcitationConfig", "HarvesterConfig", "paper_harvester"]
+
+
+@dataclass(frozen=True)
+class TuningMechanismConfig:
+    """Parameters of the magnetic tuning mechanism and its actuator."""
+
+    buckling_load_n: float = 4.5
+    force_constant: float = 5.0e-12
+    force_exponent: float = 4.0
+    min_gap_m: float = 1.2e-3
+    max_gap_m: float = 30e-3
+    actuator_speed_m_per_s: float = 2.0e-3
+    actuator_power_w: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.buckling_load_n <= 0.0:
+            raise ConfigurationError("buckling load must be positive")
+        if self.force_constant <= 0.0:
+            raise ConfigurationError("force constant must be positive")
+        if not 0.0 < self.min_gap_m < self.max_gap_m:
+            raise ConfigurationError("gap limits must satisfy 0 < min < max")
+        if self.actuator_speed_m_per_s <= 0.0:
+            raise ConfigurationError("actuator speed must be positive")
+
+
+@dataclass(frozen=True)
+class ExcitationConfig:
+    """Ambient vibration parameters."""
+
+    frequency_hz: float = 70.0
+    amplitude_ms2: float = 0.59
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0.0:
+            raise ConfigurationError("excitation frequency must be positive")
+        if self.amplitude_ms2 < 0.0:
+            raise ConfigurationError("excitation amplitude must be non-negative")
+
+
+@dataclass(frozen=True)
+class HarvesterConfig:
+    """Complete parameter set of the tunable energy harvesting system."""
+
+    generator: MicrogeneratorParameters = field(
+        default_factory=lambda: MicrogeneratorParameters.from_frequency(
+            untuned_frequency_hz=64.0,
+            proof_mass_kg=0.018,
+            quality_factor=120.0,
+            flux_linkage=14.0,
+            coil_resistance=1500.0,
+            coil_inductance=1.0,
+            buckling_load_n=4.5,
+        )
+    )
+    multiplier_stages: int = 5
+    multiplier_capacitance_f: float = 10e-6
+    multiplier_output_capacitance_f: float = 220e-6
+    multiplier_input_capacitance_f: float = 0.1e-6
+    #: the rectifier diodes carry only tens of microamps, so a few kilo-ohms
+    #: of series resistance costs nanowatts; keeping it this large bounds the
+    #: fastest electrical time constant and keeps the complete model in the
+    #: non-stiff regime the paper's explicit technique targets
+    diode: DiodeParameters = field(
+        default_factory=lambda: DiodeParameters(series_resistance_ohm=3300.0)
+    )
+    supercapacitor: SupercapacitorParameters = field(
+        default_factory=lambda: SupercapacitorParameters(
+            immediate_resistance_ohm=2.5,
+            immediate_capacitance_f=0.09,
+            delayed_resistance_ohm=90.0,
+            delayed_capacitance_f=0.018,
+            longterm_resistance_ohm=900.0,
+            longterm_capacitance_f=0.012,
+        )
+    )
+    load_profile: LoadProfile = field(default_factory=LoadProfile)
+    tuning: TuningMechanismConfig = field(default_factory=TuningMechanismConfig)
+    controller: ControllerSettings = field(
+        default_factory=lambda: ControllerSettings(
+            watchdog_period_s=5.0,
+            wake_voltage_v=3.0,
+            abort_voltage_v=1.0,
+            frequency_tolerance_hz=0.25,
+            measurement_duration_s=0.5,
+            tuning_poll_interval_s=0.25,
+        )
+    )
+    excitation: ExcitationConfig = field(default_factory=ExcitationConfig)
+    initial_storage_voltage_v: float = 3.5
+    initial_tuned_frequency_hz: Optional[float] = 70.0
+
+    #: documentation string explaining the deliberate scaling against the
+    #: physical device (kept on the config so it travels with results)
+    time_scale_note: str = (
+        "storage capacitance and digital periods are scaled down relative to "
+        "the physical device so that pure-Python runs finish in seconds; the "
+        "charging/tuning dynamics are otherwise identical"
+    )
+
+    def __post_init__(self) -> None:
+        if self.multiplier_stages < 2:
+            raise ConfigurationError("multiplier needs at least 2 stages")
+        if self.multiplier_capacitance_f <= 0.0:
+            raise ConfigurationError("multiplier capacitance must be positive")
+        if self.multiplier_output_capacitance_f <= 0.0:
+            raise ConfigurationError("multiplier output capacitance must be positive")
+        if self.multiplier_input_capacitance_f <= 0.0:
+            raise ConfigurationError("multiplier input capacitance must be positive")
+        if self.initial_storage_voltage_v < 0.0:
+            raise ConfigurationError("initial storage voltage must be >= 0")
+        if (
+            self.initial_tuned_frequency_hz is not None
+            and self.initial_tuned_frequency_hz < self.generator.untuned_frequency_hz - 1e-9
+        ):
+            raise ConfigurationError(
+                "the initial tuned frequency cannot be below the un-tuned "
+                "resonant frequency (magnetic tuning only raises it)"
+            )
+
+    # ------------------------------------------------------------------ #
+    # convenient variants
+    # ------------------------------------------------------------------ #
+    def with_excitation(self, frequency_hz: float, amplitude_ms2: Optional[float] = None) -> "HarvesterConfig":
+        """Copy of this configuration with a different ambient excitation."""
+        amplitude = (
+            self.excitation.amplitude_ms2 if amplitude_ms2 is None else amplitude_ms2
+        )
+        return replace(
+            self, excitation=ExcitationConfig(frequency_hz=frequency_hz, amplitude_ms2=amplitude)
+        )
+
+    def with_initial_storage_voltage(self, voltage_v: float) -> "HarvesterConfig":
+        """Copy of this configuration with a different pre-charge voltage."""
+        return replace(self, initial_storage_voltage_v=voltage_v)
+
+    def with_initial_tuning(self, frequency_hz: Optional[float]) -> "HarvesterConfig":
+        """Copy with a different (or no) initial tuned frequency."""
+        return replace(self, initial_tuned_frequency_hz=frequency_hz)
+
+
+def paper_harvester() -> HarvesterConfig:
+    """The default configuration used throughout the reproduction.
+
+    Matches the paper's case study as closely as the published information
+    allows; see the module docstring for the calibration rationale.
+    """
+    return HarvesterConfig()

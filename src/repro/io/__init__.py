@@ -1,0 +1,19 @@
+"""Trace export/import and report formatting."""
+
+from .csvio import export_result, export_traces, import_traces
+from .report import (
+    format_duration,
+    format_key_values,
+    format_markdown_table,
+    format_table,
+)
+
+__all__ = [
+    "export_result",
+    "export_traces",
+    "import_traces",
+    "format_duration",
+    "format_key_values",
+    "format_markdown_table",
+    "format_table",
+]

@@ -1,0 +1,77 @@
+"""Plain-text / markdown report formatting for benchmark outputs.
+
+The benchmark harness prints the reproduced tables with these helpers so
+the console output can be compared side by side with the paper.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence
+
+from ..core.errors import ConfigurationError
+
+__all__ = ["format_table", "format_markdown_table", "format_key_values", "format_duration"]
+
+
+def format_duration(seconds: float) -> str:
+    """Human-readable duration ("9h 48min" style, as the paper's Table I)."""
+    if seconds < 0.0:
+        raise ConfigurationError("duration must be non-negative")
+    if seconds < 60.0:
+        return f"{seconds:.1f} s"
+    minutes, secs = divmod(seconds, 60.0)
+    if minutes < 60.0:
+        return f"{int(minutes)}min {secs:.0f}s"
+    hours, minutes = divmod(minutes, 60.0)
+    return f"{int(hours)}h {int(minutes)}min"
+
+
+def _check_rows(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> None:
+    for row in rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row {row!r} has {len(row)} cells, expected {len(headers)}"
+            )
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]], title: str = "") -> str:
+    """Aligned plain-text table."""
+    _check_rows(headers, rows)
+    all_rows: List[Sequence[str]] = [list(headers)] + [list(r) for r in rows]
+    widths = [max(len(str(row[col])) for row in all_rows) for col in range(len(headers))]
+    lines: List[str] = []
+    if title:
+        lines.extend([title, "-" * len(title)])
+    lines.append("  ".join(str(c).ljust(w) for c, w in zip(headers, widths)))
+    lines.append("  ".join("=" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_markdown_table(
+    headers: Sequence[str], rows: Sequence[Sequence[str]], title: str = ""
+) -> str:
+    """GitHub-flavoured markdown table (used for EXPERIMENTS.md snippets)."""
+    _check_rows(headers, rows)
+    lines: List[str] = []
+    if title:
+        lines.extend([f"### {title}", ""])
+    lines.append("| " + " | ".join(str(h) for h in headers) + " |")
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(str(c) for c in row) + " |")
+    return "\n".join(lines)
+
+
+def format_key_values(values: Mapping[str, object], title: Optional[str] = None) -> str:
+    """Aligned ``key: value`` listing."""
+    if not values:
+        return title or ""
+    width = max(len(str(key)) for key in values)
+    lines: List[str] = []
+    if title:
+        lines.extend([title, "-" * len(title)])
+    for key, value in values.items():
+        lines.append(f"{str(key).ljust(width)} : {value}")
+    return "\n".join(lines)

@@ -1,0 +1,241 @@
+"""Tests for the microgenerator, supercapacitor, load profile and the
+extension generator blocks (piezoelectric, electrostatic)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.blocks.electrostatic import ElectrostaticMicrogenerator, ElectrostaticParameters
+from repro.blocks.load import LoadProfile, OperatingMode
+from repro.blocks.microgenerator import ElectromagneticMicrogenerator, MicrogeneratorParameters
+from repro.blocks.piezoelectric import PiezoelectricMicrogenerator, PiezoelectricParameters
+from repro.blocks.supercapacitor import Supercapacitor, SupercapacitorParameters
+from repro.core.errors import ConfigurationError
+from repro.core.linearise import linearise_block_numerically
+
+
+def make_params(**overrides):
+    defaults = dict(
+        untuned_frequency_hz=64.0,
+        proof_mass_kg=0.018,
+        quality_factor=120.0,
+        flux_linkage=14.0,
+        coil_resistance=1500.0,
+        coil_inductance=1.0,
+        buckling_load_n=4.5,
+    )
+    defaults.update(overrides)
+    return MicrogeneratorParameters.from_frequency(**defaults)
+
+
+class TestMicrogeneratorParameters:
+    def test_from_frequency_roundtrip(self):
+        params = make_params()
+        assert params.untuned_frequency_hz == pytest.approx(64.0)
+        assert params.quality_factor == pytest.approx(120.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MicrogeneratorParameters(0.0, 0.1, 1.0, 1.0, 1.0, 1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            make_params(quality_factor=-1.0)
+        with pytest.raises(ConfigurationError):
+            make_params(coil_inductance=0.0)
+
+
+class TestElectromagneticMicrogenerator:
+    def make_generator(self, **overrides):
+        return ElectromagneticMicrogenerator(make_params(**overrides), lambda t: 0.6)
+
+    def test_structure(self):
+        gen = self.make_generator()
+        assert gen.state_names == ("z", "velocity", "i_coil")
+        assert gen.terminal_names == ("Vm", "Im")
+        assert gen.n_algebraic == 1
+
+    def test_tuning_raises_resonant_frequency(self):
+        gen = self.make_generator()
+        f0 = gen.resonant_frequency_hz
+        gen.apply_control("tuning_force", 4.5)  # F_t = F_b doubles the stiffness
+        assert gen.resonant_frequency_hz == pytest.approx(f0 * math.sqrt(2.0))
+
+    def test_eq12_consistency(self):
+        gen = self.make_generator()
+        force = 2.0
+        gen.apply_control("tuning_force", force)
+        expected = make_params().untuned_frequency_hz * math.sqrt(1.0 + force / 4.5)
+        assert gen.resonant_frequency_hz == pytest.approx(expected)
+
+    def test_negative_tuning_force_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.make_generator().apply_control("tuning_force", -1.0)
+
+    def test_unknown_control_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.make_generator().apply_control("unknown", 1.0)
+
+    def test_algebraic_residual_is_im_equals_coil_current(self):
+        gen = self.make_generator()
+        residual = gen.algebraic_residual(
+            0.0, np.array([0.0, 0.0, 1.5e-3]), np.array([0.0, 1.5e-3])
+        )
+        assert residual[0] == pytest.approx(0.0, abs=1e-15)
+
+    def test_analytic_linearisation_matches_finite_differences(self):
+        gen = self.make_generator()
+        gen.apply_control("tuning_force", 1.0)
+        x = np.array([1e-4, 0.05, 2e-4])
+        y = np.array([0.3, 2e-4])
+        analytic = gen.linearise(0.0, x, y)
+        numeric = linearise_block_numerically(gen, 0.0, x, y)
+        assert analytic.jxx == pytest.approx(numeric.jxx, rel=1e-4, abs=1e-6)
+        assert analytic.jxy == pytest.approx(numeric.jxy, rel=1e-4, abs=1e-6)
+        assert analytic.jyx == pytest.approx(numeric.jyx, rel=1e-4, abs=1e-9)
+        assert analytic.jyy == pytest.approx(numeric.jyy, rel=1e-4, abs=1e-9)
+
+    def test_derived_quantities(self):
+        gen = self.make_generator()
+        assert gen.electromagnetic_voltage(0.1) == pytest.approx(1.4)
+        assert gen.electromagnetic_force(1e-3) == pytest.approx(0.014)
+        assert gen.output_power(2.0, 1e-3) == pytest.approx(2e-3)
+
+    def test_excitation_enters_acceleration_row(self):
+        gen = ElectromagneticMicrogenerator(make_params(), lambda t: 1.0)
+        dxdt = gen.derivatives(0.0, np.zeros(3), np.zeros(2))
+        assert dxdt[1] == pytest.approx(1.0)  # F_a / m = a
+        assert dxdt[0] == 0.0 and dxdt[2] == 0.0
+
+    def test_tuning_model_factory(self):
+        gen = self.make_generator()
+        model = gen.make_tuning_model(force_constant=5e-12)
+        assert model.untuned_frequency_hz == pytest.approx(64.0)
+
+
+class TestSupercapacitor:
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            SupercapacitorParameters(immediate_capacitance_f=0.0)
+        with pytest.raises(ConfigurationError):
+            SupercapacitorParameters(leakage_resistance_ohm=-5.0)
+        with pytest.raises(ConfigurationError):
+            Supercapacitor(initial_voltage_v=-1.0)
+
+    def test_total_capacitance(self):
+        params = SupercapacitorParameters(
+            immediate_capacitance_f=1.0, delayed_capacitance_f=0.5, longterm_capacitance_f=0.25
+        )
+        assert params.total_capacitance_f == pytest.approx(1.75)
+
+    def test_initial_state_precharge(self):
+        cap = Supercapacitor(initial_voltage_v=3.5)
+        assert cap.initial_state() == pytest.approx([3.5, 3.5, 3.5])
+
+    def test_mode_switching_follows_eq16(self):
+        cap = Supercapacitor()
+        assert cap.load_resistance == pytest.approx(1.0e9)
+        cap.set_mode(OperatingMode.AWAKE)
+        assert cap.load_resistance == pytest.approx(33.0)
+        cap.apply_control("load_resistance", 16.7)
+        assert cap.operating_mode is OperatingMode.TUNING
+        with pytest.raises(ConfigurationError):
+            cap.apply_control("load_resistance", -1.0)
+
+    def test_derivatives_charge_towards_terminal_voltage(self):
+        cap = Supercapacitor()
+        dxdt = cap.derivatives(0.0, np.zeros(3), np.array([1.0, 0.0]))
+        assert np.all(dxdt > 0.0)
+
+    def test_terminal_kcl_residual(self):
+        cap = Supercapacitor()
+        x = np.array([1.0, 1.0, 1.0])
+        vc = 1.0
+        # with all internal voltages equal to Vc the only current is the load
+        expected_ic = vc / cap.load_resistance
+        residual = cap.algebraic_residual(0.0, x, np.array([vc, expected_ic]))
+        assert residual[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_linearisation_matches_finite_differences(self):
+        cap = Supercapacitor(
+            params=SupercapacitorParameters(leakage_resistance_ohm=1e5),
+            initial_voltage_v=2.0,
+        )
+        x = np.array([2.0, 1.9, 1.8])
+        y = np.array([2.05, 1e-4])
+        analytic = cap.linearise(0.0, x, y)
+        numeric = linearise_block_numerically(cap, 0.0, x, y)
+        assert analytic.jxx == pytest.approx(numeric.jxx, rel=1e-5, abs=1e-9)
+        assert analytic.jxy == pytest.approx(numeric.jxy, rel=1e-5, abs=1e-9)
+        assert analytic.jyy == pytest.approx(numeric.jyy, rel=1e-5, abs=1e-9)
+
+    def test_stored_energy(self):
+        params = SupercapacitorParameters(
+            immediate_capacitance_f=1.0, delayed_capacitance_f=1.0, longterm_capacitance_f=1.0
+        )
+        cap = Supercapacitor(params=params)
+        assert cap.stored_energy_j([2.0, 0.0, 0.0]) == pytest.approx(2.0)
+
+    def test_terminal_voltage_helper(self):
+        cap = Supercapacitor(initial_voltage_v=3.0)
+        x = np.array([3.0, 3.0, 3.0])
+        assert cap.terminal_voltage(x, ic=0.0) == pytest.approx(3.0, rel=1e-6)
+
+
+class TestLoadProfile:
+    def test_eq16_defaults(self):
+        profile = LoadProfile()
+        assert profile.resistance(OperatingMode.SLEEP) == pytest.approx(1.0e9)
+        assert profile.resistance(OperatingMode.AWAKE) == pytest.approx(33.0)
+        assert profile.resistance(OperatingMode.TUNING) == pytest.approx(16.7)
+
+    def test_power(self):
+        profile = LoadProfile()
+        assert profile.power_at(OperatingMode.AWAKE, 3.3) == pytest.approx(3.3**2 / 33.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LoadProfile(sleep_ohm=0.0)
+
+
+class TestExtensionGenerators:
+    def test_piezo_structure_and_linearisation(self):
+        piezo = PiezoelectricMicrogenerator(PiezoelectricParameters(), lambda t: 0.5)
+        assert piezo.n_algebraic == 1
+        x = np.array([1e-4, 0.02, 1.5])
+        y = np.array([1.5, 1e-5])
+        analytic = piezo.linearise(0.0, x, y)
+        numeric = linearise_block_numerically(piezo, 0.0, x, y)
+        assert analytic.jxx == pytest.approx(numeric.jxx, rel=1e-4, abs=1e-5)
+        assert analytic.jyy == pytest.approx(numeric.jyy, rel=1e-4, abs=1e-9)
+
+    def test_piezo_tuning_interface(self):
+        piezo = PiezoelectricMicrogenerator(PiezoelectricParameters(), lambda t: 0.0)
+        f0 = piezo.resonant_frequency_hz
+        piezo.apply_control("tuning_force", PiezoelectricParameters().buckling_load_n)
+        assert piezo.resonant_frequency_hz == pytest.approx(f0 * math.sqrt(2.0))
+        with pytest.raises(ConfigurationError):
+            piezo.apply_control("tuning_force", -1.0)
+
+    def test_piezo_validation(self):
+        with pytest.raises(ConfigurationError):
+            PiezoelectricParameters(clamp_capacitance_f=0.0)
+
+    def test_electrostatic_uses_numeric_fallback(self):
+        block = ElectrostaticMicrogenerator(ElectrostaticParameters(), lambda t: 0.5)
+        assert block.linearise(0.0, block.initial_state(), np.zeros(2)) is None
+        x0 = block.initial_state()
+        assert x0[2] == pytest.approx(ElectrostaticParameters().bias_charge_c)
+
+    def test_electrostatic_terminal_voltage_relation(self):
+        params = ElectrostaticParameters()
+        block = ElectrostaticMicrogenerator(params, lambda t: 0.0)
+        x = block.initial_state()
+        vm_expected = params.bias_charge_c * params.nominal_gap_m / (
+            8.8541878128e-12 * params.plate_area_m2
+        )
+        residual = block.algebraic_residual(0.0, x, np.array([vm_expected, 0.0]))
+        assert residual[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_electrostatic_validation(self):
+        with pytest.raises(ConfigurationError):
+            ElectrostaticParameters(plate_area_m2=0.0)

@@ -1,0 +1,161 @@
+"""Tests for the microcontroller tuning process (the Fig. 7 state machine)."""
+
+import pytest
+
+from repro.blocks.actuator import LinearActuator
+from repro.blocks.load import LoadProfile
+from repro.blocks.microcontroller import ControllerSettings, ControllerState, TuningController
+from repro.blocks.tuning import MagneticTuningModel
+from repro.core.digital import AnalogueInterface
+from repro.core.errors import ConfigurationError
+
+
+class Plant:
+    """Minimal fake analogue plant the controller can probe and drive."""
+
+    def __init__(self, storage_voltage=3.5, ambient=71.0, resonant=70.0):
+        self.storage_voltage = storage_voltage
+        self.ambient = ambient
+        self.resonant = resonant
+        self.load_resistance = 1e9
+        self.tuning_force = 0.0
+        self.tuning_model = MagneticTuningModel(
+            untuned_frequency_hz=64.0,
+            buckling_load_n=4.5,
+            force_constant=5e-12,
+            min_gap_m=1e-3,
+            max_gap_m=30e-3,
+        )
+
+    def interface(self):
+        interface = AnalogueInterface()
+        interface.register_probe("storage_voltage", lambda: self.storage_voltage)
+        interface.register_probe("ambient_frequency", lambda: self.ambient)
+        interface.register_probe("resonant_frequency", lambda: self.resonant)
+        interface.register_control("load_resistance", self._set_load)
+        interface.register_control("tuning_force", self._set_force)
+        return interface
+
+    def _set_load(self, value):
+        self.load_resistance = value
+
+    def _set_force(self, value):
+        self.tuning_force = value
+        # emulate the generator's Eq. 12 response so the controller sees the
+        # resonant frequency move as the magnet travels
+        self.resonant = self.tuning_model.frequency_from_force(value)
+
+
+def make_controller(plant, **settings_overrides):
+    settings = ControllerSettings(
+        watchdog_period_s=1.0,
+        wake_voltage_v=3.0,
+        abort_voltage_v=1.0,
+        frequency_tolerance_hz=0.25,
+        measurement_duration_s=0.2,
+        tuning_poll_interval_s=0.1,
+    )
+    for key, value in settings_overrides.items():
+        setattr(settings, key, value)
+    actuator = LinearActuator(
+        speed_m_per_s=20e-3, min_position_m=1e-3, max_position_m=30e-3
+    )
+    return TuningController(
+        tuning_model=plant.tuning_model,
+        actuator=actuator,
+        settings=settings,
+        load_profile=LoadProfile(),
+    )
+
+
+class TestSettingsValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"watchdog_period_s": 0.0},
+            {"wake_voltage_v": -1.0},
+            {"abort_voltage_v": 5.0},
+            {"frequency_tolerance_hz": 0.0},
+            {"measurement_duration_s": 0.0},
+            {"tuning_poll_interval_s": 0.0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        settings = ControllerSettings(**kwargs)
+        with pytest.raises(ConfigurationError):
+            settings.validate()
+
+
+class TestStateMachine:
+    def test_stays_asleep_when_storage_is_low(self):
+        plant = Plant(storage_voltage=1.0)
+        controller = make_controller(plant)
+        interface = plant.interface()
+        delay = controller.execute(0.0, interface)
+        assert delay == pytest.approx(1.0)  # full watchdog period
+        assert controller.state is ControllerState.SLEEPING
+        assert controller.n_wakeups == 1
+        assert controller.n_measurements == 0
+        assert plant.load_resistance == pytest.approx(1e9)
+
+    def test_wakes_and_goes_back_to_sleep_when_frequencies_match(self):
+        plant = Plant(storage_voltage=3.5, ambient=70.0, resonant=70.0)
+        controller = make_controller(plant)
+        interface = plant.interface()
+        delay = controller.execute(0.0, interface)
+        assert controller.state is ControllerState.MEASURING
+        assert plant.load_resistance == pytest.approx(33.0)
+        assert delay == pytest.approx(0.2)
+        delay = controller.execute(0.2, interface)
+        assert controller.state is ControllerState.SLEEPING
+        assert plant.load_resistance == pytest.approx(1e9)
+        assert controller.n_tunings_started == 0
+
+    def test_full_tuning_cycle(self):
+        plant = Plant(storage_voltage=3.5, ambient=71.0, resonant=70.0)
+        controller = make_controller(plant)
+        interface = plant.interface()
+        t = 0.0
+        delay = controller.execute(t, interface)
+        t += delay
+        delay = controller.execute(t, interface)  # measurement done -> start tuning
+        assert controller.state is ControllerState.TUNING
+        assert controller.n_tunings_started == 1
+        assert plant.load_resistance == pytest.approx(16.7)
+        # poll until the actuator arrives
+        for _ in range(200):
+            t += delay
+            delay = controller.execute(t, interface)
+            if controller.state is ControllerState.SLEEPING:
+                break
+        assert controller.state is ControllerState.SLEEPING
+        assert controller.n_tunings_completed == 1
+        assert plant.load_resistance == pytest.approx(1e9)
+        # the plant was re-tuned to (roughly) the ambient frequency
+        assert plant.resonant == pytest.approx(71.0, abs=0.3)
+        assert len(controller.event_log) >= 3
+
+    def test_tuning_aborts_when_storage_collapses(self):
+        plant = Plant(storage_voltage=3.5, ambient=75.0, resonant=68.0)
+        controller = make_controller(plant)
+        interface = plant.interface()
+        t = 0.0
+        t += controller.execute(t, interface)
+        delay = controller.execute(t, interface)
+        assert controller.state is ControllerState.TUNING
+        plant.storage_voltage = 0.5  # collapse below the abort threshold
+        t += delay
+        controller.execute(t, interface)
+        assert controller.state is ControllerState.SLEEPING
+        assert controller.n_tunings_aborted == 1
+        assert plant.load_resistance == pytest.approx(1e9)
+
+    def test_target_clamped_to_tuning_range(self):
+        plant = Plant(storage_voltage=3.5, ambient=500.0, resonant=64.0)
+        controller = make_controller(plant)
+        interface = plant.interface()
+        t = 0.0
+        t += controller.execute(t, interface)
+        controller.execute(t, interface)
+        f_min, f_max = plant.tuning_model.frequency_range()
+        assert controller._target_frequency_hz <= f_max + 1e-9

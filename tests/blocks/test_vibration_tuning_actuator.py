@@ -1,0 +1,164 @@
+"""Tests for the vibration source, magnetic tuning law and linear actuator."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blocks.actuator import LinearActuator
+from repro.blocks.tuning import MagneticTuningModel
+from repro.blocks.vibration import FrequencyStep, MultiToneVibrationSource, VibrationSource
+from repro.core.errors import ConfigurationError
+
+
+class TestVibrationSource:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            VibrationSource(0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            VibrationSource(50.0, -1.0)
+        with pytest.raises(ConfigurationError):
+            VibrationSource(50.0, 1.0, [FrequencyStep(time=-1.0, frequency_hz=60.0)])
+
+    def test_single_tone(self):
+        source = VibrationSource(10.0, 2.0)
+        assert source.frequency(0.0) == 10.0
+        assert source.acceleration(0.025) == pytest.approx(2.0)  # quarter period
+
+    def test_frequency_step_schedule(self):
+        source = VibrationSource(
+            70.0, 0.6, [FrequencyStep(time=1.0, frequency_hz=71.0, amplitude_ms2=0.8)]
+        )
+        assert source.frequency(0.5) == 70.0
+        assert source.frequency(1.5) == 71.0
+        assert source.amplitude(1.5) == 0.8
+        assert source.step_times() == [1.0]
+
+    def test_phase_continuity_at_step(self):
+        source = VibrationSource(70.0, 1.0, [FrequencyStep(time=0.31, frequency_hz=80.0)])
+        before = source.acceleration(0.31 - 1e-9)
+        after = source.acceleration(0.31 + 1e-9)
+        assert after == pytest.approx(before, abs=1e-4)
+
+    def test_callable_protocol(self):
+        source = VibrationSource(10.0, 1.0)
+        assert source(0.0) == pytest.approx(source.acceleration(0.0))
+
+    def test_multi_tone(self):
+        source = MultiToneVibrationSource([(50.0, 0.1), (70.0, 0.5)])
+        assert source.dominant_frequency() == 70.0
+        assert source.frequency(1.0) == 70.0
+        assert source.amplitude(0.0) == 0.5
+        assert abs(source.acceleration(0.0)) < 1e-12
+        with pytest.raises(ConfigurationError):
+            MultiToneVibrationSource([])
+
+
+class TestMagneticTuningModel:
+    @pytest.fixture
+    def model(self):
+        return MagneticTuningModel(
+            untuned_frequency_hz=64.0,
+            buckling_load_n=4.5,
+            force_constant=5.0e-12,
+            exponent=4.0,
+            min_gap_m=1.2e-3,
+            max_gap_m=30e-3,
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MagneticTuningModel(0.0, 1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            MagneticTuningModel(64.0, 1.0, 1.0, min_gap_m=2.0, max_gap_m=1.0)
+
+    def test_eq12_forward(self, model):
+        # F_t = 3 F_b doubles the resonant frequency
+        assert model.frequency_from_force(3 * 4.5) == pytest.approx(128.0)
+
+    def test_force_frequency_roundtrip(self, model):
+        force = model.force_for_frequency(70.0)
+        assert model.frequency_from_force(force) == pytest.approx(70.0)
+
+    def test_force_below_untuned_rejected(self, model):
+        with pytest.raises(ConfigurationError):
+            model.force_for_frequency(60.0)
+
+    def test_gap_force_roundtrip(self, model):
+        gap = model.gap_for_force(1.0)
+        assert model.force_from_gap(gap) == pytest.approx(1.0)
+
+    def test_gap_clipping(self, model):
+        assert model.gap_for_force(0.0) == model.max_gap_m
+        assert model.gap_for_force(1e9) == model.min_gap_m
+
+    def test_frequency_decreases_with_gap(self, model):
+        assert model.frequency_from_gap(1.5e-3) > model.frequency_from_gap(5e-3)
+
+    def test_tuning_range_is_positive(self, model):
+        f_min, f_max = model.frequency_range()
+        assert f_min < f_max
+        assert model.tuning_range_hz() == pytest.approx(f_max - f_min)
+        # the practical design offers roughly a 14 Hz range
+        assert 5.0 < model.tuning_range_hz() < 40.0
+
+    @given(st.floats(min_value=64.5, max_value=78.0))
+    @settings(max_examples=50, deadline=None)
+    def test_gap_for_frequency_roundtrip(self, target):
+        model = MagneticTuningModel(64.0, 4.5, 5.0e-12, min_gap_m=1e-3, max_gap_m=50e-3)
+        gap = model.gap_for_frequency(target)
+        assert model.frequency_from_gap(gap) == pytest.approx(target, rel=1e-6)
+
+
+class TestLinearActuator:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LinearActuator(speed_m_per_s=0.0, min_position_m=0.0, max_position_m=1.0)
+        with pytest.raises(ConfigurationError):
+            LinearActuator(speed_m_per_s=1.0, min_position_m=1.0, max_position_m=0.0)
+        with pytest.raises(ConfigurationError):
+            LinearActuator(
+                speed_m_per_s=1.0, min_position_m=0.0, max_position_m=1.0, position_m=2.0
+            )
+
+    def test_defaults_to_max_position(self):
+        actuator = LinearActuator(1e-3, 1e-3, 30e-3)
+        assert actuator.position_m == pytest.approx(30e-3)
+
+    def test_travel_time_and_motion(self):
+        actuator = LinearActuator(2e-3, 0.0, 30e-3, position_m=10e-3)
+        duration = actuator.command(20e-3, t=0.0)
+        assert duration == pytest.approx(5.0)
+        actuator.update(2.5)
+        assert actuator.position_m == pytest.approx(15e-3)
+        assert actuator.is_moving
+        actuator.update(6.0)
+        assert actuator.position_m == pytest.approx(20e-3)
+        assert not actuator.is_moving
+
+    def test_target_clipped_to_travel(self):
+        actuator = LinearActuator(1e-3, 1e-3, 10e-3, position_m=5e-3)
+        actuator.command(100.0, t=0.0)
+        actuator.update(100.0)
+        assert actuator.position_m == pytest.approx(10e-3)
+
+    def test_energy_accounting(self):
+        actuator = LinearActuator(1e-3, 0.0, 10e-3, position_m=0.0, supply_power_w=0.5)
+        actuator.command(5e-3, t=0.0)
+        actuator.update(10.0)  # move takes 5 s
+        assert actuator.energy_consumed_j == pytest.approx(2.5)
+
+    def test_cancel(self):
+        actuator = LinearActuator(1e-3, 0.0, 10e-3, position_m=0.0)
+        actuator.command(10e-3, t=0.0)
+        actuator.update(1.0)
+        actuator.cancel(1.0)
+        assert not actuator.is_moving
+        assert actuator.time_to_target() == 0.0
+
+    def test_time_never_goes_backwards(self):
+        actuator = LinearActuator(1e-3, 0.0, 10e-3)
+        actuator.update(1.0)
+        with pytest.raises(ConfigurationError):
+            actuator.update(0.5)

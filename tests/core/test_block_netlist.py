@@ -1,0 +1,243 @@
+"""Tests for the analogue-block framework and the netlist wiring."""
+
+import numpy as np
+import pytest
+
+from repro.core.block import AnalogueBlock, BlockLinearisation, LinearBlock
+from repro.core.errors import ConfigurationError, ConnectionError_
+from repro.core.linearise import (
+    finite_difference_jacobian,
+    linearise_block,
+    linearise_block_numerically,
+)
+from repro.core.netlist import Netlist
+
+
+def make_rc_block(name="rc", r=10.0, c=1e-3, invert_current=False):
+    """Simple RC block: state = capacitor voltage, terminals = (V, I).
+
+    dVc/dt = (V - Vc) / (R C) and the algebraic equation is the terminal
+    current I = (V - Vc)/R (or its negative when ``invert_current`` is set,
+    which models the current flowing out of the block into the shared node —
+    needed to wire two such blocks into a passive series loop).
+    """
+    a = np.array([[-1.0 / (r * c)]])
+    b = np.array([[1.0 / (r * c), 0.0]])
+    c_mat = np.array([[1.0 / r]])
+    sign = -1.0 if invert_current else 1.0
+    d_mat = np.array([[-1.0 / r, sign]])
+    return LinearBlock(
+        name,
+        a,
+        b,
+        state_names=["Vc"],
+        terminal_names=["V", "I"],
+        c=c_mat,
+        d=d_mat,
+        terminal_kinds=["voltage", "current"],
+    )
+
+
+class NonlinearTestBlock(AnalogueBlock):
+    """dx/dt = -x^3 + y, algebraic: y - sin(x) = 0 (for FD Jacobian tests)."""
+
+    def __init__(self):
+        super().__init__("nl", ["x"], ["y"], n_algebraic=1)
+
+    def derivatives(self, t, x, y):
+        return np.array([-x[0] ** 3 + y[0]])
+
+    def algebraic_residual(self, t, x, y):
+        return np.array([y[0] - np.sin(x[0])])
+
+
+class TestLinearBlock:
+    def test_shape_validation(self):
+        with pytest.raises(ConfigurationError):
+            LinearBlock("b", np.zeros((2, 3)), np.zeros((2, 1)), ["a", "b"], ["t"])
+        with pytest.raises(ConfigurationError):
+            LinearBlock("b", np.zeros((2, 2)), np.zeros((3, 1)), ["a", "b"], ["t"])
+        with pytest.raises(ConfigurationError):
+            LinearBlock("b", np.zeros((2, 2)), np.zeros((2, 1)), ["a"], ["t"])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LinearBlock("b", np.zeros((2, 2)), np.zeros((2, 1)), ["a", "a"], ["t"])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LinearBlock("", np.zeros((1, 1)), np.zeros((1, 1)), ["a"], ["t"])
+
+    def test_derivatives_and_residual(self):
+        block = make_rc_block()
+        x = np.array([1.0])
+        y = np.array([2.0, 0.0])
+        dxdt = block.derivatives(0.0, x, y)
+        assert dxdt[0] == pytest.approx((2.0 - 1.0) / (10.0 * 1e-3))
+        res = block.algebraic_residual(0.0, x, y)
+        assert res[0] == pytest.approx(1.0 / 10.0 - 2.0 / 10.0 + 0.0)
+
+    def test_linearise_is_exact(self):
+        block = make_rc_block()
+        lin = block.linearise(0.0, np.array([0.5]), np.array([1.0, 0.1]))
+        assert lin.jxx[0, 0] == pytest.approx(-100.0)
+        assert lin.jxy[0, 0] == pytest.approx(100.0)
+
+    def test_excitation_callable(self):
+        block = LinearBlock(
+            "src",
+            np.array([[-1.0]]),
+            np.zeros((1, 0)),
+            ["x"],
+            [],
+            excitation=lambda t: np.array([t]),
+        )
+        assert block.derivatives(2.0, np.array([0.0]), np.zeros(0))[0] == pytest.approx(2.0)
+
+    def test_initial_state(self):
+        block = LinearBlock(
+            "b", np.array([[-1.0]]), np.zeros((1, 0)), ["x"], [], x0=[3.0]
+        )
+        assert block.initial_state()[0] == pytest.approx(3.0)
+
+    def test_terminal_lookup_and_error(self):
+        block = make_rc_block()
+        terminal = block.terminal("V")
+        assert str(terminal) == "rc.V"
+        with pytest.raises(ConfigurationError):
+            block.terminal("missing")
+
+    def test_apply_control_default_rejects(self):
+        with pytest.raises(ConfigurationError):
+            make_rc_block().apply_control("anything", 1.0)
+
+    def test_qualified_state_names(self):
+        assert make_rc_block("blk").qualified_state_names() == ("blk.Vc",)
+
+
+class TestBlockLinearisationValidation:
+    def test_shape_mismatch_raises(self):
+        lin = BlockLinearisation(
+            jxx=np.zeros((1, 1)),
+            jxy=np.zeros((1, 2)),
+            ex=np.zeros(1),
+            jyx=np.zeros((1, 1)),
+            jyy=np.zeros((1, 2)),
+            ey=np.zeros(1),
+        )
+        lin.validate(1, 2, 1)
+        with pytest.raises(ConfigurationError):
+            lin.validate(2, 2, 1)
+
+
+class TestNumericalLinearisation:
+    def test_finite_difference_jacobian(self):
+        func = lambda z: np.array([z[0] ** 2 + z[1], 3.0 * z[1]])
+        jac = finite_difference_jacobian(func, np.array([2.0, 1.0]))
+        assert jac == pytest.approx(np.array([[4.0, 1.0], [0.0, 3.0]]), abs=1e-5)
+
+    def test_numeric_matches_analytic_for_linear_block(self):
+        block = make_rc_block()
+        x = np.array([0.3])
+        y = np.array([1.2, 0.05])
+        analytic = block.linearise(0.0, x, y)
+        numeric = linearise_block_numerically(block, 0.0, x, y)
+        assert numeric.jxx == pytest.approx(analytic.jxx, abs=1e-6)
+        assert numeric.jxy == pytest.approx(analytic.jxy, abs=1e-6)
+        assert numeric.jyx == pytest.approx(analytic.jyx, abs=1e-6)
+        assert numeric.jyy == pytest.approx(analytic.jyy, abs=1e-6)
+
+    def test_affine_model_exact_at_expansion_point(self):
+        block = NonlinearTestBlock()
+        x = np.array([0.7])
+        y = np.array([0.2])
+        lin = linearise_block_numerically(block, 0.0, x, y)
+        model = lin.jxx @ x + lin.jxy @ y + lin.ex
+        assert model == pytest.approx(block.derivatives(0.0, x, y), abs=1e-7)
+        alg = lin.jyx @ x + lin.jyy @ y + lin.ey
+        assert alg == pytest.approx(block.algebraic_residual(0.0, x, y), abs=1e-7)
+
+    def test_linearise_block_prefers_analytic(self):
+        block = make_rc_block()
+        lin = linearise_block(block, 0.0, np.array([0.0]), np.array([0.0, 0.0]))
+        assert lin.jxx[0, 0] == pytest.approx(-100.0)
+
+    def test_linearise_block_falls_back_to_numeric(self):
+        block = NonlinearTestBlock()
+        lin = linearise_block(block, 0.0, np.array([1.0]), np.array([0.0]))
+        assert lin.jxx[0, 0] == pytest.approx(-3.0, abs=1e-5)
+        assert lin.jyx[0, 0] == pytest.approx(-np.cos(1.0), abs=1e-5)
+
+
+class TestNetlist:
+    def test_duplicate_block_name(self):
+        net = Netlist()
+        net.add_block(make_rc_block("a"))
+        with pytest.raises(ConfigurationError):
+            net.add_block(make_rc_block("a"))
+
+    def test_connect_unregistered_block(self):
+        net = Netlist()
+        a = make_rc_block("a")
+        b = make_rc_block("b")
+        net.add_block(a)
+        with pytest.raises(ConnectionError_):
+            net.connect(a.terminal("V"), b.terminal("V"))
+
+    def test_kind_mismatch(self):
+        net = Netlist()
+        a = net.add_block(make_rc_block("a"))
+        b = net.add_block(make_rc_block("b"))
+        with pytest.raises(ConnectionError_):
+            net.connect(a.terminal("V"), b.terminal("I"))
+
+    def test_build_nets_merges_connected_terminals(self):
+        net = Netlist()
+        a = net.add_block(make_rc_block("a"))
+        b = net.add_block(make_rc_block("b"))
+        net.connect(a.terminal("V"), b.terminal("V"), net_name="shared_v")
+        nets = net.build_nets()
+        names = [n.name for n in nets]
+        assert "shared_v" in names
+        shared = next(n for n in nets if n.name == "shared_v")
+        assert len(shared.terminals) == 2
+        # 4 terminals total, 2 merged -> 3 nets
+        assert len(nets) == 3
+
+    def test_connect_port_names_nets(self):
+        net = Netlist()
+        a = net.add_block(make_rc_block("a"))
+        b = net.add_block(make_rc_block("b"))
+        net.connect_port(a, b, voltage=("V", "V"), current=("I", "I"), net_prefix="p")
+        names = [n.name for n in net.build_nets()]
+        assert "p_V" in names and "p_I" in names
+
+    def test_validate_square_system(self):
+        net = Netlist()
+        a = net.add_block(make_rc_block("a"))
+        b = net.add_block(make_rc_block("b"))
+        net.connect_port(a, b, voltage=("V", "V"), current=("I", "I"))
+        net.validate()  # 2 nets, 2 algebraic equations
+
+    def test_validate_rejects_unconnected_system(self):
+        net = Netlist()
+        net.add_block(make_rc_block("a"))
+        net.add_block(make_rc_block("b"))
+        with pytest.raises(ConnectionError_):
+            net.validate()  # 4 nets but only 2 equations
+
+    def test_block_lookup(self):
+        net = Netlist()
+        block = net.add_block(make_rc_block("a"))
+        assert net.block("a") is block
+        with pytest.raises(ConfigurationError):
+            net.block("missing")
+
+    def test_terminal_index_map_consistent(self):
+        net = Netlist()
+        a = net.add_block(make_rc_block("a"))
+        b = net.add_block(make_rc_block("b"))
+        net.connect(a.terminal("V"), b.terminal("V"))
+        mapping = net.terminal_index_map()
+        assert mapping["a.V"] == mapping["b.V"]
+        assert mapping["a.I"] != mapping["b.I"]

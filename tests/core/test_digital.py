@@ -1,0 +1,151 @@
+"""Tests for the discrete-event digital kernel and the analogue interface."""
+
+import pytest
+
+from repro.core.digital import AnalogueInterface, DigitalEventKernel, DigitalProcess
+from repro.core.errors import ConfigurationError
+
+
+class OneShot(DigitalProcess):
+    """Runs once, records its activation time, optionally writes a control."""
+
+    def __init__(self, name, start_time=0.0, write_control=None):
+        super().__init__(name, start_time)
+        self.activations = []
+        self.write_control = write_control
+
+    def execute(self, t, analogue):
+        self.activations.append(t)
+        if self.write_control is not None:
+            analogue.write(self.write_control, 1.0)
+        return None
+
+
+class Periodic(DigitalProcess):
+    """Re-schedules itself with a fixed period a limited number of times."""
+
+    def __init__(self, name, period, max_runs=3):
+        super().__init__(name, start_time=0.0)
+        self.period = period
+        self.max_runs = max_runs
+        self.activations = []
+
+    def execute(self, t, analogue):
+        self.activations.append(t)
+        if len(self.activations) >= self.max_runs:
+            return None
+        return self.period
+
+
+class TestAnalogueInterface:
+    def test_probe_registration_and_read(self):
+        interface = AnalogueInterface()
+        interface.register_probe("v", lambda: 3.3)
+        assert interface.read("v") == pytest.approx(3.3)
+        assert interface.probe_names() == ["v"]
+
+    def test_duplicate_probe_rejected(self):
+        interface = AnalogueInterface()
+        interface.register_probe("v", lambda: 0.0)
+        with pytest.raises(ConfigurationError):
+            interface.register_probe("v", lambda: 1.0)
+
+    def test_unknown_probe_and_control(self):
+        interface = AnalogueInterface()
+        with pytest.raises(ConfigurationError):
+            interface.read("missing")
+        with pytest.raises(ConfigurationError):
+            interface.write("missing", 1.0)
+
+    def test_control_write_sets_dirty_flag(self):
+        interface = AnalogueInterface()
+        received = []
+        interface.register_control("r", received.append)
+        assert not interface.consume_dirty_flag()
+        interface.write("r", 42.0)
+        assert received == [42.0]
+        assert interface.consume_dirty_flag()
+        # flag cleared after consumption
+        assert not interface.consume_dirty_flag()
+
+    def test_control_names(self):
+        interface = AnalogueInterface()
+        interface.register_control("b", lambda v: None)
+        interface.register_control("a", lambda v: None)
+        assert interface.control_names() == ["a", "b"]
+
+
+class TestDigitalEventKernel:
+    def test_schedule_and_next_event_time(self):
+        kernel = DigitalEventKernel()
+        process = OneShot("p", start_time=2.0)
+        kernel.add_process(process)
+        assert kernel.next_event_time() == pytest.approx(2.0)
+        assert kernel.has_pending()
+
+    def test_negative_time_rejected(self):
+        kernel = DigitalEventKernel()
+        with pytest.raises(ConfigurationError):
+            kernel.schedule(OneShot("p"), -1.0)
+
+    def test_run_due_executes_only_due_events(self):
+        kernel = DigitalEventKernel()
+        early = OneShot("early", start_time=0.0)
+        late = OneShot("late", start_time=5.0)
+        kernel.add_process(early)
+        kernel.add_process(late)
+        interface = AnalogueInterface()
+        kernel.run_due(1.0, interface)
+        assert early.activations == [0.0]
+        assert late.activations == []
+        assert kernel.next_event_time() == pytest.approx(5.0)
+
+    def test_periodic_rescheduling(self):
+        kernel = DigitalEventKernel()
+        process = Periodic("tick", period=1.0, max_runs=3)
+        kernel.add_process(process)
+        interface = AnalogueInterface()
+        for t in (0.0, 1.0, 2.0, 3.0):
+            kernel.run_due(t, interface)
+        assert process.activations == [0.0, 1.0, 2.0]
+        assert not kernel.has_pending()
+        assert kernel.n_activations == 3
+
+    def test_model_changed_flag(self):
+        kernel = DigitalEventKernel()
+        interface = AnalogueInterface()
+        interface.register_control("load", lambda v: None)
+        writer = OneShot("writer", start_time=0.0, write_control="load")
+        silent = OneShot("silent", start_time=0.0)
+        kernel.add_process(silent)
+        assert kernel.run_due(0.0, interface) is False
+        kernel.add_process(writer)
+        assert kernel.run_due(0.0, interface) is True
+
+    def test_non_positive_delay_rejected(self):
+        class BadProcess(DigitalProcess):
+            def execute(self, t, analogue):
+                return 0.0
+
+        kernel = DigitalEventKernel()
+        kernel.add_process(BadProcess("bad"))
+        with pytest.raises(ConfigurationError):
+            kernel.run_due(0.0, AnalogueInterface())
+
+    def test_empty_process_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OneShot("")
+
+    def test_events_run_in_time_order(self):
+        order = []
+
+        class Recorder(DigitalProcess):
+            def execute(self, t, analogue):
+                order.append(self.name)
+                return None
+
+        kernel = DigitalEventKernel()
+        kernel.schedule(Recorder("second"), 2.0)
+        kernel.schedule(Recorder("first"), 1.0)
+        kernel.run_due(3.0, AnalogueInterface())
+        assert order == ["first", "second"]

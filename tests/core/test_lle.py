@@ -1,0 +1,72 @@
+"""Tests for the local linearisation error monitor (Eq. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.lle import LLEMonitor
+
+
+class TestLLEMonitor:
+    def test_first_record_has_zero_change(self):
+        monitor = LLEMonitor()
+        sample = monitor.record(0.0, np.eye(2))
+        assert sample.jacobian_change == 0.0
+
+    def test_jacobian_change_is_relative(self):
+        monitor = LLEMonitor()
+        monitor.record(0.0, np.eye(2))
+        sample = monitor.record(0.1, 2.0 * np.eye(2))
+        # ||A2 - A1|| / ||A1|| = ||I|| / ||I|| = 1
+        assert sample.jacobian_change == pytest.approx(1.0)
+
+    def test_flagging_above_tolerance(self):
+        monitor = LLEMonitor(jacobian_tolerance=0.5)
+        monitor.record(0.0, np.eye(2))
+        monitor.record(0.1, np.eye(2) * 1.1)  # 10 % change: not flagged
+        monitor.record(0.2, np.eye(2) * 3.0)  # large change: flagged
+        assert monitor.n_flagged == 1
+        assert monitor.max_jacobian_change > 0.5
+
+    def test_derivative_mismatch(self):
+        monitor = LLEMonitor()
+        sample = monitor.record(
+            0.0,
+            np.eye(1),
+            linearised_derivative=np.array([1.0]),
+            true_derivative=np.array([1.1]),
+        )
+        assert sample.derivative_mismatch == pytest.approx(0.1 / 1.1)
+        assert monitor.max_derivative_mismatch == pytest.approx(0.1 / 1.1)
+
+    def test_history_kept_only_when_requested(self):
+        silent = LLEMonitor(keep_history=False)
+        silent.record(0.0, np.eye(1))
+        silent.record(0.1, np.eye(1))
+        assert silent.history == []
+        verbose = LLEMonitor(keep_history=True)
+        verbose.record(0.0, np.eye(1))
+        verbose.record(0.1, np.eye(1))
+        assert len(verbose.history) == 2
+
+    def test_reset(self):
+        monitor = LLEMonitor(keep_history=True)
+        monitor.record(0.0, np.eye(1))
+        monitor.record(0.1, 5.0 * np.eye(1))
+        monitor.reset()
+        assert monitor.n_flagged == 0
+        assert monitor.history == []
+        assert monitor.max_jacobian_change == 0.0
+        # after reset the next record is treated as the first
+        assert monitor.record(0.2, np.eye(1)).jacobian_change == 0.0
+
+    def test_exceeded_helper(self):
+        monitor = LLEMonitor(jacobian_tolerance=0.2)
+        monitor.record(0.0, np.eye(1))
+        sample = monitor.record(0.1, np.eye(1) * 2.0)
+        assert monitor.exceeded(sample)
+
+    def test_zero_norm_previous_jacobian(self):
+        monitor = LLEMonitor()
+        monitor.record(0.0, np.zeros((2, 2)))
+        sample = monitor.record(0.1, np.eye(2))
+        assert np.isfinite(sample.jacobian_change)

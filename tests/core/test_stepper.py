@@ -1,0 +1,113 @@
+"""Tests for the adaptive step-size controller."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.integrators import AdamsBashforth, ForwardEuler
+from repro.core.stepper import StepControlSettings, StepSizeController
+
+
+class TestSettingsValidation:
+    def test_defaults_are_valid(self):
+        StepControlSettings().validate()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"h_initial": 0.0},
+            {"h_min": -1.0},
+            {"h_min": 2.0, "h_max": 1.0},
+            {"safety": 0.0},
+            {"safety": 1.5},
+            {"growth_limit": 0.5},
+            {"shrink_limit": 0.0},
+            {"jacobian_change_target": 0.0},
+            {"stability_recompute_threshold": -0.1},
+        ],
+    )
+    def test_invalid_settings(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            StepControlSettings(**kwargs).validate()
+
+
+class TestStabilityLimit:
+    def test_diagonal_dominance_mode(self):
+        settings = StepControlSettings(use_spectral_limit=False, safety=1.0)
+        controller = StepSizeController(settings)
+        limit = controller.stability_limit(np.array([[-100.0]]))
+        assert limit == pytest.approx(0.02)
+
+    def test_spectral_mode_uses_integrator_extents(self):
+        settings = StepControlSettings(use_spectral_limit=True, safety=1.0)
+        fe = StepSizeController(settings, integrator=ForwardEuler())
+        ab3 = StepSizeController(settings, integrator=AdamsBashforth(order=3))
+        oscillator = np.array([[0.0, 1.0], [-(440.0**2), -2.0]])
+        assert ab3.stability_limit(oscillator) > 50 * fe.stability_limit(oscillator)
+
+    def test_limit_is_cached_until_jacobian_drifts(self):
+        settings = StepControlSettings(
+            use_spectral_limit=True, stability_recompute_threshold=0.5, safety=1.0
+        )
+        controller = StepSizeController(settings)
+        a = np.array([[-100.0]])
+        first = controller.stability_limit(a)
+        # small drift: cached value reused even though the true limit changed
+        second = controller.stability_limit(np.array([[-110.0]]))
+        assert second == first
+        # large drift: recomputed
+        third = controller.stability_limit(np.array([[-1000.0]]))
+        assert third == pytest.approx(2.0 / 1000.0)
+
+
+class TestPropose:
+    def test_respects_h_max(self):
+        settings = StepControlSettings(h_initial=1e-3, h_max=2e-3)
+        controller = StepSizeController(settings)
+        h = controller.propose(np.array([[-1.0]]))
+        assert h <= 2e-3
+
+    def test_respects_remaining_time(self):
+        controller = StepSizeController(StepControlSettings(h_initial=1e-3))
+        h = controller.propose(np.array([[-1.0]]), t_remaining=1e-5)
+        assert h == pytest.approx(1e-5)
+
+    def test_growth_is_limited(self):
+        settings = StepControlSettings(h_initial=1e-4, growth_limit=1.5, h_max=1.0)
+        controller = StepSizeController(settings)
+        first = controller.propose(np.array([[-1.0]]))
+        second = controller.propose(np.array([[-1.0]]))
+        assert second <= first * 1.5 + 1e-15
+
+    def test_large_jacobian_change_shrinks_step(self):
+        settings = StepControlSettings(
+            h_initial=1e-3, jacobian_change_target=0.01, h_max=1.0
+        )
+        controller = StepSizeController(settings)
+        controller.propose(np.array([[-1.0]]))
+        h_before = controller.current_step
+        h_after = controller.propose(np.array([[-100.0]]))
+        assert h_after < h_before
+
+    def test_never_below_h_min(self):
+        settings = StepControlSettings(h_initial=1e-6, h_min=1e-6, h_max=1.0)
+        controller = StepSizeController(settings)
+        controller.propose(np.array([[-1.0]]))
+        h = controller.propose(np.array([[-1e9]]) * 1e6)
+        assert h >= 1e-6
+
+    def test_stability_bound_enforced(self):
+        settings = StepControlSettings(
+            h_initial=1.0, h_max=1.0, safety=1.0, use_spectral_limit=True
+        )
+        controller = StepSizeController(settings, integrator=ForwardEuler())
+        h = controller.propose(np.array([[-1000.0]]))
+        assert h <= 2.0 / 1000.0 + 1e-12
+
+    def test_reset_restores_initial_step(self):
+        controller = StepSizeController(StepControlSettings(h_initial=1e-4, h_max=1.0))
+        for _ in range(5):
+            controller.propose(np.array([[-1.0]]))
+        assert controller.current_step > 1e-4
+        controller.reset()
+        assert controller.current_step == pytest.approx(1e-4)
