@@ -1,9 +1,11 @@
 """Setuptools shim.
 
-The project is configured through ``pyproject.toml``; this file exists so
-that editable installs work in offline environments whose setuptools lacks
-the ``wheel`` package required by the PEP 517 editable-install path
-(``pip install -e . --no-use-pep517`` falls back to this shim).
+The project is configured through ``pyproject.toml`` (``src/`` layout);
+``pip install -e .`` is the normal install path.  This file exists so that
+editable installs still work in offline environments whose setuptools
+lacks the ``wheel`` package required by the PEP 660 editable-install path:
+there, run ``python setup.py develop`` (it reads the same pyproject
+metadata) or simply export ``PYTHONPATH=src``.
 """
 
 from setuptools import setup

@@ -41,6 +41,7 @@ from .core import (
     Trace,
     make_integrator,
 )
+from .analysis import ParameterSweep, SweepEngine, sweep_excitation_frequency
 from .harvester import (
     HarvesterConfig,
     Scenario,
@@ -48,6 +49,7 @@ from .harvester import (
     charging_scenario,
     default_solver_settings,
     paper_harvester,
+    prepare_assembly,
     run_baseline,
     run_proposed,
     run_reference,
@@ -70,12 +72,16 @@ __all__ = [
     "SystemAssembler",
     "Trace",
     "make_integrator",
+    "ParameterSweep",
+    "SweepEngine",
+    "sweep_excitation_frequency",
     "HarvesterConfig",
     "Scenario",
     "TunableEnergyHarvester",
     "charging_scenario",
     "default_solver_settings",
     "paper_harvester",
+    "prepare_assembly",
     "run_baseline",
     "run_proposed",
     "run_reference",

@@ -1,6 +1,8 @@
 """Post-processing: power/energy metrics, frequency detection, waveform
-comparison, CPU-time tables and design-space sweeps."""
+comparison, CPU-time tables and design-space sweeps (serial or parallel
+through the sweep engine)."""
 
+from .engine import EngineRunInfo, SweepEngine
 from .frequency import (
     detect_frequency_fft,
     detect_frequency_zero_crossing,
@@ -35,6 +37,8 @@ from .waveforms import (
 )
 
 __all__ = [
+    "EngineRunInfo",
+    "SweepEngine",
     "detect_frequency_fft",
     "detect_frequency_zero_crossing",
     "frequency_mismatch",

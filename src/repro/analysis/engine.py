@@ -1,0 +1,428 @@
+"""Parallel sweep engine with cross-candidate assembly reuse.
+
+The paper motivates its fast non-iterative solver with "automated design
+… using multiple simulations": design exploration evaluates a *grid* of
+candidate configurations, and the grid — not any single run — is the real
+workload.  This module turns the serial loop of
+:class:`repro.analysis.sweep.ParameterSweep` into an engine that
+
+* executes candidates in **parallel worker processes**
+  (:mod:`concurrent.futures`, configurable worker count) while keeping the
+  result ordering **deterministic** — the returned points are in candidate
+  enumeration order and carry exactly the scores a serial run produces;
+* **reuses the assembled system structure** across candidates that share
+  a topology: the one-time :class:`~repro.core.elimination.AssemblyStructure`
+  setup is computed once per worker (see
+  :func:`repro.harvester.scenarios.prepare_assembly`) and cloned into every
+  same-topology candidate instead of being rebuilt per run;
+* **checkpoints** every finished candidate through
+  :mod:`repro.io.csvio`, so an interrupted sweep resumes from the last
+  completed candidate (``checkpoint_path=``);
+* reports **progress and the best candidate so far** through a callback
+  (see :func:`repro.io.report.format_sweep_progress` for a ready-made
+  formatter);
+* optionally applies an **amortised-relinearisation solver profile**
+  (``relinearise_interval``): the per-step Jacobian assembly/elimination
+  is held over a few steps of the explicit march, trading a bounded score
+  deviation for a 2-3x per-candidate speed-up.  The documented tolerance
+  is **10 % relative** (typically a few percent on longer runs — see
+  ``benchmarks/bench_sweep_scaling.py``, which measures and asserts it).
+  Candidates whose fast run trips the stability guard are transparently
+  re-run with the exact every-step profile.
+
+Determinism contract: with the default profile (``relinearise_interval``
+unset or 1) the engine's scores are byte-identical to the plain serial
+loop, for any worker count — candidates are independent simulations and
+worker processes run the exact same floating-point program.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import warnings
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core.elimination import AssemblyStructure
+from ..core.errors import ConfigurationError, StabilityError
+from ..harvester.scenarios import (
+    Scenario,
+    prepare_assembly,
+    run_proposed,
+    scenario_solver_settings,
+)
+from ..io.csvio import append_checkpoint_row, read_checkpoint, write_checkpoint_header
+
+__all__ = ["SweepEngine", "EngineRunInfo"]
+
+#: progress callback: ``progress(done, total, best_point_or_None)``
+ProgressFn = Callable[[int, int, Optional["SweepPoint"]], None]
+
+_CHECKPOINT_FIELDS = ("index", "score", "cpu_time_s", "exact_rerun")
+
+
+@dataclass
+class EngineRunInfo:
+    """Bookkeeping of one engine run (attached to ``SweepResult.engine_info``)."""
+
+    n_workers: int
+    n_candidates: int
+    n_evaluated: int
+    n_resumed: int
+    n_exact_reruns: int
+    parallel: bool
+    relinearise_interval: Optional[int]
+
+
+@dataclass(frozen=True)
+class _Task:
+    """One candidate to evaluate, fully resolved in the parent process."""
+
+    index: int
+    parameters: Dict[str, float]
+    scenario: Scenario
+    metric: Callable
+    integrator: object
+    settings: object
+    relinearise_interval: Optional[int]
+    reuse_assembly: bool = True
+
+
+@dataclass(frozen=True)
+class _Outcome:
+    """What a worker sends back for one finished candidate."""
+
+    index: int
+    score: float
+    cpu_time_s: float
+    exact_rerun: bool
+
+
+# per-process cache of structural assembly setups, keyed by a cheap
+# topology fingerprint of the scenario so that different-topology sweeps
+# run in the same process each keep their own reusable structure
+_worker_structures: Dict[tuple, AssemblyStructure] = {}
+
+
+def _topology_key(scenario: Scenario) -> tuple:
+    """Cheap topology fingerprint of a scenario (no harvester build).
+
+    Deliberately coarse: a collision only hands the assembler a structure
+    whose full signature does not match, which it rejects and recomputes
+    (see :class:`~repro.core.elimination.SystemAssembler`) — the cost of a
+    false hit is a recompute, never mis-indexing.
+    """
+    config = scenario.config
+    return (
+        type(config).__name__,
+        getattr(config, "multiplier_stages", None),
+        scenario.with_controller,
+    )
+
+
+def _evaluate_task(task: _Task) -> _Outcome:
+    """Evaluate one candidate (runs in a worker process or inline)."""
+    structure: Optional[AssemblyStructure] = None
+    if task.reuse_assembly:
+        key = _topology_key(task.scenario)
+        structure = _worker_structures.get(key)
+        if structure is None:
+            structure = prepare_assembly(task.scenario)
+            _worker_structures[key] = structure
+
+    settings = task.settings
+    if settings is None:
+        settings = scenario_solver_settings(task.scenario)
+    interval = task.relinearise_interval
+    if interval is not None:
+        settings = replace(settings, relinearise_interval=int(interval))
+
+    exact_rerun = False
+    try:
+        result = run_proposed(
+            task.scenario,
+            integrator=task.integrator,
+            settings=settings,
+            assembly_structure=structure,
+        )
+    except StabilityError:
+        if interval is None or int(interval) <= 1:
+            raise
+        # the held linearisation destabilised this particular candidate:
+        # fall back to the exact every-step profile for it
+        result = run_proposed(
+            task.scenario,
+            integrator=task.integrator,
+            settings=replace(settings, relinearise_interval=1),
+            assembly_structure=structure,
+        )
+        exact_rerun = True
+
+    return _Outcome(
+        index=task.index,
+        score=float(task.metric(result)),
+        cpu_time_s=float(result.stats.cpu_time_s),
+        exact_rerun=exact_rerun,
+    )
+
+
+class SweepEngine:
+    """Executes the candidates of a :class:`ParameterSweep` at scale.
+
+    Parameters
+    ----------
+    n_workers:
+        Worker processes to use.  ``1`` (default) evaluates inline —
+        bit-identical to, and a drop-in replacement for, the historical
+        serial loop.  ``None`` uses ``os.cpu_count()``.
+    checkpoint_path:
+        Optional CSV path for checkpoint/resume.  Completed candidates
+        are appended as they finish; if the file already exists and
+        matches this sweep (metric + parameter names), the recorded
+        candidates are *not* re-evaluated.
+    progress:
+        Optional callback ``progress(done, total, best_point)`` invoked
+        after every completed candidate with the best-so-far point.
+    relinearise_interval:
+        Optional solver-profile override applied to every candidate (on
+        top of per-candidate default settings): hold each linearisation
+        for up to this many steps (see
+        :class:`repro.core.solver.SolverSettings`).  ``None`` leaves the
+        profile untouched (exact, byte-identical scores); values > 1 are
+        faster with a documented 10 % relative score tolerance (typically
+        a few percent; measured by ``bench_sweep_scaling.py``).
+    reuse_assembly:
+        Reuse the structural assembly setup across same-topology
+        candidates (on by default; results are identical either way).
+    """
+
+    def __init__(
+        self,
+        n_workers: Optional[int] = 1,
+        *,
+        checkpoint_path: Optional[str] = None,
+        progress: Optional[ProgressFn] = None,
+        relinearise_interval: Optional[int] = None,
+        reuse_assembly: bool = True,
+    ) -> None:
+        if n_workers is None:
+            n_workers = os.cpu_count() or 1
+        if n_workers < 1:
+            raise ConfigurationError("n_workers must be at least 1")
+        if relinearise_interval is not None and relinearise_interval < 1:
+            raise ConfigurationError("relinearise_interval must be at least 1")
+        self.n_workers = int(n_workers)
+        self.checkpoint_path = checkpoint_path
+        self.progress = progress
+        self.relinearise_interval = relinearise_interval
+        self.reuse_assembly = reuse_assembly
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def run(self, sweep, integrator=None, settings=None):
+        """Evaluate every candidate of ``sweep`` and return a ``SweepResult``.
+
+        The returned points are in candidate enumeration order regardless
+        of completion order or worker count, so serial and parallel runs
+        produce identical results.
+        """
+        from .sweep import SweepPoint, SweepResult
+
+        tasks = self._build_tasks(sweep, integrator, settings)
+        total = len(tasks)
+        outcomes: Dict[int, _Outcome] = {}
+
+        n_resumed = self._load_checkpoint(sweep, tasks, outcomes)
+        pending = [task for task in tasks if task.index not in outcomes]
+
+        parallel = self.n_workers > 1 and len(pending) > 1
+        if parallel and not self._parallelisable(pending):
+            warnings.warn(
+                "sweep uses a non-picklable metric/scenario; "
+                "falling back to serial evaluation",
+                stacklevel=2,
+            )
+            parallel = False
+
+        def emit_progress() -> None:
+            if self.progress is None or not outcomes:
+                return
+            best = max(outcomes.values(), key=lambda o: o.score)
+            task = tasks[best.index]
+            point = SweepPoint(
+                parameters=dict(task.parameters),
+                score=best.score,
+                metadata={"cpu_time_s": best.cpu_time_s},
+            )
+            self.progress(len(outcomes), total, point)
+
+        def record(outcome: _Outcome) -> None:
+            outcomes[outcome.index] = outcome
+            if self.checkpoint_path is not None:
+                append_checkpoint_row(
+                    self.checkpoint_path,
+                    [
+                        outcome.index,
+                        repr(outcome.score),
+                        f"{outcome.cpu_time_s:.6g}",
+                        int(outcome.exact_rerun),
+                    ],
+                )
+            emit_progress()
+
+        if n_resumed:
+            emit_progress()
+
+        if parallel:
+            self._run_parallel(pending, record)
+        else:
+            for task in pending:
+                record(_evaluate_task(task))
+
+        result = SweepResult(metric_name=sweep.metric_name)
+        for task in tasks:
+            outcome = outcomes[task.index]
+            result.points.append(
+                SweepPoint(
+                    parameters=dict(task.parameters),
+                    score=outcome.score,
+                    metadata={
+                        "cpu_time_s": outcome.cpu_time_s,
+                        "candidate_index": outcome.index,
+                        "exact_rerun": outcome.exact_rerun,
+                    },
+                )
+            )
+        result.engine_info = EngineRunInfo(
+            n_workers=self.n_workers,
+            n_candidates=total,
+            n_evaluated=len(pending),
+            n_resumed=n_resumed,
+            n_exact_reruns=sum(1 for o in outcomes.values() if o.exact_rerun),
+            parallel=parallel,
+            relinearise_interval=self.relinearise_interval,
+        )
+        return result
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _build_tasks(self, sweep, integrator, settings) -> List[_Task]:
+        tasks: List[_Task] = []
+        for index, candidate in enumerate(sweep.candidates()):
+            config = sweep.scenario.config
+            for name, value in candidate.items():
+                config = sweep.apply(config, name, value)
+            scenario = replace(sweep.scenario, config=config)
+            tasks.append(
+                _Task(
+                    index=index,
+                    parameters=dict(candidate),
+                    scenario=scenario,
+                    metric=sweep.metric,
+                    integrator=integrator,
+                    settings=settings,
+                    relinearise_interval=self.relinearise_interval,
+                    reuse_assembly=self.reuse_assembly,
+                )
+            )
+        if not tasks:
+            raise ConfigurationError("the sweep produced no candidates")
+        return tasks
+
+    def _checkpoint_metadata(self, sweep) -> Dict[str, str]:
+        # the grid hash covers the parameter *values* (not just names) and
+        # the solver profile, so a checkpoint cannot silently map stale
+        # scores onto a reshaped grid or a different-accuracy profile
+        digest = hashlib.sha256(
+            repr(
+                (
+                    sweep.metric_name,
+                    sorted(
+                        (name, tuple(values))
+                        for name, values in sweep.parameters.items()
+                    ),
+                    self.relinearise_interval,
+                )
+            ).encode()
+        ).hexdigest()[:16]
+        return {
+            "metric": sweep.metric_name,
+            "parameters": " ".join(sorted(sweep.parameters)),
+            "grid": digest,
+        }
+
+    def _load_checkpoint(
+        self, sweep, tasks: Sequence[_Task], outcomes: Dict[int, _Outcome]
+    ) -> int:
+        """Fill ``outcomes`` from an existing checkpoint; returns the count.
+
+        A fresh header is written when no (valid) checkpoint exists.  A
+        checkpoint written by a different sweep (metric or parameter names
+        differ) is rejected loudly rather than silently merged.
+        """
+        path = self.checkpoint_path
+        if path is None:
+            return 0
+        expected = self._checkpoint_metadata(sweep)
+        if not os.path.exists(path):
+            write_checkpoint_header(path, _CHECKPOINT_FIELDS, expected)
+            return 0
+        metadata, fieldnames, rows = read_checkpoint(path)
+        if any(metadata.get(key) != expected[key] for key in expected):
+            raise ConfigurationError(
+                f"checkpoint {path} belongs to a different sweep "
+                f"(found {metadata}, expected {expected}); delete it or "
+                "point the engine at a fresh path"
+            )
+        if tuple(fieldnames) != _CHECKPOINT_FIELDS:
+            raise ConfigurationError(
+                f"checkpoint {path} has unexpected columns {fieldnames}"
+            )
+        n_resumed = 0
+        for row in rows:
+            index = int(row[0])
+            if 0 <= index < len(tasks) and index not in outcomes:
+                outcomes[index] = _Outcome(
+                    index=index,
+                    score=float(row[1]),
+                    cpu_time_s=float(row[2]),
+                    exact_rerun=bool(int(row[3])),
+                )
+                n_resumed += 1
+        return n_resumed
+
+    @staticmethod
+    def _parallelisable(tasks: Sequence[_Task]) -> bool:
+        try:
+            pickle.dumps(tasks[0])
+        except Exception:
+            return False
+        return True
+
+    def _run_parallel(
+        self, pending: Sequence[_Task], record: Callable[[_Outcome], None]
+    ) -> None:
+        import multiprocessing as mp
+
+        # fork (where available) shares the parent's loaded modules and
+        # caches — worker start-up is milliseconds instead of a fresh
+        # interpreter + numpy import per worker
+        context = None
+        if "fork" in mp.get_all_start_methods():
+            context = mp.get_context("fork")
+        with ProcessPoolExecutor(
+            max_workers=min(self.n_workers, len(pending)), mp_context=context
+        ) as pool:
+            futures: Dict[Future, _Task] = {
+                pool.submit(_evaluate_task, task): task for task in pending
+            }
+            not_done = set(futures)
+            while not_done:
+                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                for future in done:
+                    record(future.result())

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Tuple
 
 from ..core.errors import ConfigurationError
@@ -143,6 +144,22 @@ def build_diode_companion_table(
         raise ConfigurationError("v_max must exceed v_min")
     if n_points < 8:
         raise ConfigurationError("diode table needs at least 8 breakpoints")
+    return _cached_companion_table(params, float(v_min), float(v_max), int(n_points))
+
+
+@lru_cache(maxsize=32)
+def _cached_companion_table(
+    params: DiodeParameters, v_min: float, v_max: float, n_points: int
+) -> CompanionTable:
+    """Build (once per parameter set) the companion table.
+
+    Table construction runs hundreds of Newton solves of the implicit
+    branch equation, which at ~40 ms dominates the cost of assembling a
+    harvester instance.  Design-exploration sweeps build one harvester per
+    candidate with (usually) identical diode parameters, so the table is
+    shared: :class:`DiodeParameters` is frozen and the table is only ever
+    read, never mutated, making the cached instance safe to alias.
+    """
     diode = ShockleyDiode(params)
 
     # Allocate two thirds of the points to the knee region [-0.2, min(v_max, 1.5)].

@@ -119,6 +119,19 @@ class DicksonMultiplier(AnalogueBlock):
         pump = [(i % 2 == 0) for i in range(n_stages)]
         pump[n_stages - 1] = False
         self._pump_flags = np.array(pump, dtype=float)
+        self._pump_active = [bool(p) for p in pump]
+
+        # constant structure reused on every linearisation call: the diode
+        # voltage coefficient matrix and the algebraic rows depend only on
+        # the topology, not on the operating point
+        self._vd_coefficients = self._diode_voltage_coefficients()
+        n_states = n_stages + 1
+        self._jyx_template = np.zeros((2, n_states))
+        self._jyx_template[0, 0] = -1.0
+        self._jyx_template[1, n_stages] = -1.0
+        self._jyy_template = np.zeros((2, 4))
+        self._jyy_template[0, 0] = 1.0
+        self._jyy_template[1, 2] = 1.0
 
     # ------------------------------------------------------------------ #
     # diode branch voltages
@@ -151,7 +164,7 @@ class DicksonMultiplier(AnalogueBlock):
     # ------------------------------------------------------------------ #
     def derivatives(self, t: float, x: np.ndarray, y: np.ndarray) -> np.ndarray:
         _vm, im, _vc, ic = y
-        coefficients = self._diode_voltage_coefficients()
+        coefficients = self._vd_coefficients
         vd = coefficients @ x
         i_d = self._diode_currents(vd)
         n = self.n_stages
@@ -159,7 +172,7 @@ class DicksonMultiplier(AnalogueBlock):
         # input node: Cin dVin/dt = Im - sum of pump-capacitor currents
         pump_current = 0.0
         for k in range(n):
-            if self._pump_flags[k]:
+            if self._pump_active[k]:
                 downstream = i_d[k + 1] if k + 1 < n else ic
                 pump_current += downstream - i_d[k]
         dxdt[0] = (im - pump_current) / self.input_capacitance_f
@@ -177,12 +190,13 @@ class DicksonMultiplier(AnalogueBlock):
     # ------------------------------------------------------------------ #
     def linearise(self, t: float, x: np.ndarray, y: np.ndarray) -> BlockLinearisation:
         n = self.n_stages
-        coefficients = self._diode_voltage_coefficients()
+        coefficients = self._vd_coefficients
         vd = coefficients @ x
         g = np.empty(n)
         j = np.empty(n)
+        evaluate = self.companion_table.evaluate
         for k in range(n):
-            g[k], j[k] = self.companion_table.evaluate(float(vd[k]))
+            g[k], j[k] = evaluate(float(vd[k]))
 
         n_states = n + 1
         jxx = np.zeros((n_states, n_states))
@@ -193,7 +207,7 @@ class DicksonMultiplier(AnalogueBlock):
         cin = self.input_capacitance_f
         jxy[0, 1] = 1.0 / cin
         for k in range(n):
-            if not self._pump_flags[k]:
+            if not self._pump_active[k]:
                 continue
             jxx[0, :] += g[k] * coefficients[k, :] / cin
             ex[0] += j[k] / cin
@@ -213,15 +227,15 @@ class DicksonMultiplier(AnalogueBlock):
         jxy[n, 3] = -1.0 / cn
         ex[n] = j[n - 1] / cn
 
-        # algebraic part: Vm - Vin = 0 and Vc - Vn = 0
-        jyx = np.zeros((2, n_states))
-        jyy = np.zeros((2, 4))
-        ey = np.zeros(2)
-        jyx[0, 0] = -1.0
-        jyy[0, 0] = 1.0
-        jyx[1, n] = -1.0
-        jyy[1, 2] = 1.0
-        return BlockLinearisation(jxx=jxx, jxy=jxy, ex=ex, jyx=jyx, jyy=jyy, ey=ey)
+        # algebraic part: Vm - Vin = 0 and Vc - Vn = 0 (constant structure)
+        return BlockLinearisation(
+            jxx=jxx,
+            jxy=jxy,
+            ex=ex,
+            jyx=self._jyx_template.copy(),
+            jyy=self._jyy_template.copy(),
+            ey=np.zeros(2),
+        )
 
     # ------------------------------------------------------------------ #
     # convenience

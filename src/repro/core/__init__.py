@@ -15,7 +15,12 @@ Public surface:
 
 from .block import AnalogueBlock, BlockLinearisation, LinearBlock, Terminal
 from .digital import AnalogueInterface, DigitalEventKernel, DigitalProcess
-from .elimination import GlobalLinearisation, ReducedSystem, SystemAssembler
+from .elimination import (
+    AssemblyStructure,
+    GlobalLinearisation,
+    ReducedSystem,
+    SystemAssembler,
+)
 from .errors import (
     ConfigurationError,
     ConnectionError_,
@@ -61,6 +66,7 @@ __all__ = [
     "Terminal",
     "Net",
     "Netlist",
+    "AssemblyStructure",
     "SystemAssembler",
     "GlobalLinearisation",
     "ReducedSystem",

@@ -39,7 +39,95 @@ from .errors import SingularSystemError
 from .linearise import linearise_block
 from .netlist import Net, Netlist
 
-__all__ = ["GlobalLinearisation", "ReducedSystem", "SystemAssembler"]
+__all__ = [
+    "AssemblyStructure",
+    "GlobalLinearisation",
+    "ReducedSystem",
+    "SystemAssembler",
+]
+
+
+@dataclass(frozen=True)
+class AssemblyStructure:
+    """Topology-derived indexing of the assembled global system.
+
+    Everything here depends only on the *structure* of the netlist (block
+    names, state/terminal counts, wiring pattern) — not on any component
+    parameter value.  Design-exploration loops evaluate many candidates
+    that share one topology and differ only in parameters, so this one-time
+    setup can be computed once and handed to every
+    :class:`SystemAssembler` built for a same-topology candidate instead
+    of being rebuilt per candidate (see :mod:`repro.analysis.engine`).
+
+    The ``signature`` tuple identifies the topology; an assembler only
+    adopts a structure whose signature matches its own netlist, so passing
+    a stale structure degrades to a fresh computation, never to silent
+    mis-indexing.
+    """
+
+    signature: Tuple
+    terminal_to_net: Dict[str, int]
+    state_offsets: Dict[str, int]
+    alg_offsets: Dict[str, int]
+    terminal_maps: Dict[str, np.ndarray]
+    n_states: int
+    n_terminals: int
+    n_algebraic: int
+
+    @staticmethod
+    def signature_of(blocks: Sequence[AnalogueBlock], nets: Sequence[Net]) -> Tuple:
+        """Hashable topology key of a (blocks, nets) pair."""
+        block_part = tuple(
+            (block.name, block.n_states, block.n_algebraic, tuple(block.terminal_names))
+            for block in blocks
+        )
+        net_part = tuple(
+            (net.name, tuple(str(t) for t in net.terminals)) for net in nets
+        )
+        return (block_part, net_part)
+
+    @classmethod
+    def from_netlist(cls, netlist: Netlist) -> "AssemblyStructure":
+        """Compute the structural indexing of a validated netlist."""
+        netlist.validate()
+        return cls._compute(netlist.blocks, netlist.build_nets(), netlist)
+
+    @classmethod
+    def _compute(
+        cls, blocks: Sequence[AnalogueBlock], nets: Sequence[Net], netlist: Netlist
+    ) -> "AssemblyStructure":
+        terminal_to_net = netlist.terminal_index_map()
+
+        state_offsets: Dict[str, int] = {}
+        offset = 0
+        for block in blocks:
+            state_offsets[block.name] = offset
+            offset += block.n_states
+
+        alg_offsets: Dict[str, int] = {}
+        row = 0
+        for block in blocks:
+            alg_offsets[block.name] = row
+            row += block.n_algebraic
+
+        terminal_maps: Dict[str, np.ndarray] = {}
+        for block in blocks:
+            indices = [
+                terminal_to_net[str(block.terminal(tname))]
+                for tname in block.terminal_names
+            ]
+            terminal_maps[block.name] = np.asarray(indices, dtype=int)
+
+        return cls(
+            signature=cls.signature_of(blocks, nets),
+            terminal_to_net=terminal_to_net,
+            state_offsets=state_offsets,
+            alg_offsets=alg_offsets,
+            terminal_maps=terminal_maps,
+            n_states=offset,
+            n_terminals=len(nets),
+            n_algebraic=row,
+        )
 
 
 @dataclass
@@ -95,44 +183,46 @@ class SystemAssembler:
     ----------
     netlist:
         A validated :class:`Netlist` containing all blocks and connections.
+    structure:
+        Optional precomputed :class:`AssemblyStructure` from a previous
+        same-topology assembly.  It is adopted only when its signature
+        matches this netlist's topology; otherwise the structure is
+        recomputed from scratch, so a stale or mismatched structure can
+        never corrupt the indexing.
     """
 
-    def __init__(self, netlist: Netlist) -> None:
+    def __init__(
+        self, netlist: Netlist, *, structure: Optional[AssemblyStructure] = None
+    ) -> None:
         netlist.validate()
         self._netlist = netlist
         self._blocks: List[AnalogueBlock] = netlist.blocks
         self._nets: List[Net] = netlist.build_nets()
-        self._terminal_to_net: Dict[str, int] = netlist.terminal_index_map()
 
-        # global state indexing: concatenate block states in block order
-        self._state_offsets: Dict[str, int] = {}
-        offset = 0
-        for block in self._blocks:
-            self._state_offsets[block.name] = offset
-            offset += block.n_states
-        self._n_states = offset
-        self._n_terminals = len(self._nets)
-
-        # algebraic equation row offsets per block
-        self._alg_offsets: Dict[str, int] = {}
-        row = 0
-        for block in self._blocks:
-            self._alg_offsets[block.name] = row
-            row += block.n_algebraic
-        self._n_algebraic = row
-
-        # per-block terminal gather matrices: local y = P_block @ global y
-        self._terminal_maps: Dict[str, np.ndarray] = {}
-        for block in self._blocks:
-            indices = [
-                self._terminal_to_net[str(block.terminal(tname))]
-                for tname in block.terminal_names
-            ]
-            self._terminal_maps[block.name] = np.asarray(indices, dtype=int)
+        if structure is not None and structure.signature == AssemblyStructure.signature_of(
+            self._blocks, self._nets
+        ):
+            self._structure = structure
+        else:
+            self._structure = AssemblyStructure._compute(
+                self._blocks, self._nets, netlist
+            )
+        s = self._structure
+        self._terminal_to_net: Dict[str, int] = s.terminal_to_net
+        self._state_offsets: Dict[str, int] = s.state_offsets
+        self._n_states = s.n_states
+        self._n_terminals = s.n_terminals
+        self._alg_offsets: Dict[str, int] = s.alg_offsets
+        self._n_algebraic = s.n_algebraic
+        self._terminal_maps: Dict[str, np.ndarray] = s.terminal_maps
 
     # ------------------------------------------------------------------ #
     # structural queries
     # ------------------------------------------------------------------ #
+    @property
+    def structure(self) -> AssemblyStructure:
+        """Reusable topology-derived indexing (shareable across candidates)."""
+        return self._structure
     @property
     def n_states(self) -> int:
         """Total number of global state variables."""
@@ -260,15 +350,19 @@ class SystemAssembler:
             )
         try:
             # y = -Jyy^{-1} (Jyx x + ey)  =  M x + c
-            jyy_inv_jyx = np.linalg.solve(jyy, lin.jyx)
-            jyy_inv_ey = np.linalg.solve(jyy, lin.ey)
+            # One factorisation serves both right-hand sides: stack
+            # [Jyx | ey] and solve the multi-RHS system in a single call.
+            rhs = np.empty((jyy.shape[0], lin.jyx.shape[1] + 1))
+            rhs[:, :-1] = lin.jyx
+            rhs[:, -1] = lin.ey
+            solution = np.linalg.solve(jyy, rhs)
         except np.linalg.LinAlgError as exc:
             raise SingularSystemError(
                 "terminal-variable elimination failed: J_yy is singular "
                 f"({exc}); check block wiring"
             ) from exc
-        elimination_matrix = -jyy_inv_jyx
-        elimination_offset = -jyy_inv_ey
+        elimination_matrix = -solution[:, :-1]
+        elimination_offset = -solution[:, -1]
         y_solution = elimination_matrix @ x_global + elimination_offset
         a_reduced = lin.jxx + lin.jxy @ elimination_matrix
         b_reduced = lin.ex + lin.jxy @ elimination_offset

@@ -15,8 +15,10 @@ construction (e.g. the diode) lives with the corresponding block model.
 
 from __future__ import annotations
 
+import math
+from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -81,6 +83,14 @@ class PWLTable:
         uniform = bool(np.allclose(dx, dx[0], rtol=1e-9, atol=0.0))
         self._data = _TableData(x=x_arr, y=y_arr, uniform=uniform, dx=float(dx[0]))
         self._extrapolate = extrapolate
+        # scalar-lookup fast path: the solver queries the table once per
+        # diode per step, so the hot lookup works on plain Python floats
+        # (identical IEEE-754 arithmetic, a fraction of the interpreter
+        # overhead of numpy scalar indexing)
+        self._x_list: List[float] = x_arr.tolist()
+        self._y_list: List[float] = y_arr.tolist()
+        self._x0: float = self._x_list[0]
+        self._n_segments: int = len(self._x_list) - 2
 
     # ------------------------------------------------------------------ #
     # properties
@@ -112,13 +122,13 @@ class PWLTable:
     # lookup
     # ------------------------------------------------------------------ #
     def _segment_index(self, x: float) -> int:
-        data = self._data
-        n = data.x.size
-        if data.uniform:
-            idx = int(np.floor((x - data.x[0]) / data.dx))
+        if self._data.uniform:
+            idx = math.floor((x - self._x0) / self._data.dx)
         else:
-            idx = int(np.searchsorted(data.x, x, side="right") - 1)
-        return max(0, min(idx, n - 2))
+            idx = bisect_right(self._x_list, x) - 1
+        if idx < 0:
+            return 0
+        return min(idx, self._n_segments)
 
     def _check_range(self, x: float) -> None:
         lo, hi = self.domain
@@ -127,26 +137,29 @@ class PWLTable:
                 f"lookup at {x!r} outside table domain [{lo!r}, {hi!r}]"
             )
 
+    def _interpolate_at(self, idx: int, x: float) -> float:
+        """Linear interpolation on segment ``idx`` (no bounds checks)."""
+        xs = self._x_list
+        ys = self._y_list
+        x0 = xs[idx]
+        y0 = ys[idx]
+        t = (x - x0) / (xs[idx + 1] - x0)
+        return y0 + t * (ys[idx + 1] - y0)
+
     def __call__(self, x: float) -> float:
         """Evaluate the interpolant at ``x``."""
         if not self._extrapolate:
             self._check_range(x)
-        idx = self._segment_index(x)
-        data = self._data
-        x0, x1 = data.x[idx], data.x[idx + 1]
-        y0, y1 = data.y[idx], data.y[idx + 1]
-        t = (x - x0) / (x1 - x0)
-        return float(y0 + t * (y1 - y0))
+        return float(self._interpolate_at(self._segment_index(x), x))
 
     def slope(self, x: float) -> float:
         """Return the local segment slope ``dy/dx`` at ``x``."""
         if not self._extrapolate:
             self._check_range(x)
         idx = self._segment_index(x)
-        data = self._data
-        return float(
-            (data.y[idx + 1] - data.y[idx]) / (data.x[idx + 1] - data.x[idx])
-        )
+        xs = self._x_list
+        ys = self._y_list
+        return float((ys[idx + 1] - ys[idx]) / (xs[idx + 1] - xs[idx]))
 
     def evaluate_many(self, xs: Sequence[float]) -> np.ndarray:
         """Vectorised evaluation for an array of query points."""
@@ -194,8 +207,16 @@ class CompanionTable:
         return self._j(v)
 
     def evaluate(self, v: float) -> Tuple[float, float]:
-        """Return the pair ``(G, J)`` at operating voltage ``v``."""
-        return self._g(v), self._j(v)
+        """Return the pair ``(G, J)`` at operating voltage ``v``.
+
+        The two tables share their breakpoints (checked at construction),
+        so one segment search serves both interpolations.
+        """
+        g = self._g
+        if not (g._extrapolate and self._j._extrapolate):
+            return self._g(v), self._j(v)  # preserve per-table range checks
+        idx = g._segment_index(v)
+        return float(g._interpolate_at(idx, v)), float(self._j._interpolate_at(idx, v))
 
     def branch_current(self, v: float) -> float:
         """Reconstruct the branch current ``i = G(v)*v + J(v)``."""

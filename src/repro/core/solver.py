@@ -70,6 +70,26 @@ class SolverSettings:
     divergence_limit:
         Hard cap on the state-vector norm; exceeding it raises
         :class:`StabilityError` instead of silently producing NaNs.
+    relinearise_interval:
+        Maximum number of accepted steps over which one linearisation
+        (assembled Jacobian + eliminated reduced system) may be reused
+        before a fresh block sweep is forced.  ``1`` (the default)
+        re-linearises every step, exactly as the paper describes; larger
+        values amortise the per-step assemble/eliminate cost across
+        several steps of the explicit march — the same LLE argument that
+        justifies freezing the Jacobian over *one* step (Eq. 3) bounds
+        the extra error of holding it over a few, because the step-size
+        controller already keeps ``h`` small against the Jacobian's rate
+        of change.  Digital activations and the state-drift guard below
+        always force an immediate re-linearisation.  This is an accuracy
+        trade documented in :mod:`repro.analysis.engine`; sweeps that
+        need bit-exact agreement with the reference path keep it at 1.
+    relinearise_state_rtol:
+        Optional state-drift guard for held linearisations: the reduced
+        model is re-assembled as soon as ``max|x - x_ref|`` exceeds this
+        fraction of ``max|x_ref|`` (``x_ref`` = state at the last
+        linearisation), even before ``relinearise_interval`` steps have
+        elapsed.  ``None`` disables the guard.
     """
 
     step_control: StepControlSettings = field(default_factory=StepControlSettings)
@@ -79,6 +99,8 @@ class SolverSettings:
     keep_lle_history: bool = False
     monitor_lle: bool = False
     divergence_limit: float = 1e12
+    relinearise_interval: int = 1
+    relinearise_state_rtol: Optional[float] = None
 
 
 class LinearisedStateSpaceSolver:
@@ -201,6 +223,14 @@ class LinearisedStateSpaceSolver:
         self._y = assembler.eliminate(initial_lin, self._x).y_solution
         stats.n_linear_solves += 1
 
+        # amortised-relinearisation bookkeeping (see SolverSettings)
+        hold_limit = max(1, int(settings.relinearise_interval))
+        state_rtol = settings.relinearise_state_rtol
+        reduced: Optional[ReducedSystem] = None
+        steps_since_assemble = 0
+        x_reference = self._x
+        n_jacobian_reuses = 0
+
         while self._t < t_end - 1e-15:
             # 1. digital activations due now
             if self.digital_kernel is not None:
@@ -211,30 +241,50 @@ class LinearisedStateSpaceSolver:
                         self.integrator.notify_discontinuity(integrator_state)
                         controller.reset()
                         self.lle_monitor.reset()
+                        reduced = None  # the analogue model changed under us
 
-            # 2. linearise + eliminate at the current point
-            lin = assembler.assemble(self._t, self._x, self._y)
-            reduced = assembler.eliminate(lin, self._x)
-            self._y = reduced.y_solution
-            stats.n_jacobian_evaluations += 1
-            stats.n_linear_solves += 1
+            # 2. linearise + eliminate at the current point, or reuse the
+            #    held affine model while it is still fresh enough
+            refresh = reduced is None or steps_since_assemble >= hold_limit
+            if not refresh and state_rtol is not None:
+                drift = float(np.max(np.abs(self._x - x_reference)))
+                scale = float(np.max(np.abs(x_reference)))
+                refresh = drift > state_rtol * (scale + 1e-300)
+            if refresh:
+                lin = assembler.assemble(self._t, self._x, self._y)
+                reduced = assembler.eliminate(lin, self._x)
+                self._y = reduced.y_solution
+                stats.n_jacobian_evaluations += 1
+                stats.n_linear_solves += 1
+                steps_since_assemble = 0
+                x_reference = self._x
+            else:
+                # terminal variables still follow the held affine model
+                self._y = reduced.terminal_values(self._x)
+                n_jacobian_reuses += 1
+            steps_since_assemble += 1
 
             # 3. record traces
             self._record(recorder, state_names, net_names)
 
-            # 4. LLE monitoring (Jacobian drift always; true derivative optional)
-            if settings.monitor_lle:
-                true_dxdt, _ = assembler.full_residual(self._t, self._x, self._y)
-                self.lle_monitor.record(
-                    self._t,
-                    reduced.a_reduced,
-                    linearised_derivative=reduced.derivative(self._x),
-                    true_derivative=true_dxdt,
-                )
-            else:
-                self.lle_monitor.record(self._t, reduced.a_reduced)
+            # 4. LLE monitoring on fresh linearisations (Jacobian drift
+            #    always; true derivative optional)
+            if refresh:
+                if settings.monitor_lle:
+                    true_dxdt, _ = assembler.full_residual(self._t, self._x, self._y)
+                    self.lle_monitor.record(
+                        self._t,
+                        reduced.a_reduced,
+                        linearised_derivative=reduced.derivative(self._x),
+                        true_derivative=true_dxdt,
+                    )
+                else:
+                    self.lle_monitor.record(self._t, reduced.a_reduced)
 
-            # 5. choose the step size
+            # 5. choose the step size.  Held steps reuse the step proposed
+            #    at the last fresh linearisation: the controller's inputs
+            #    (the reduced Jacobian) have not changed, and feeding it the
+            #    held matrix would read the zero drift as licence to grow h.
             boundary = t_end
             if self.digital_kernel is not None:
                 next_event = self.digital_kernel.next_event_time()
@@ -243,10 +293,13 @@ class LinearisedStateSpaceSolver:
             if settings.fixed_step is not None:
                 h = min(settings.fixed_step, boundary - self._t)
                 controller._h_current = h  # keep diagnostics consistent
-            else:
+            elif refresh:
                 h = controller.propose(
                     reduced.a_reduced, t_remaining=boundary - self._t
                 )
+                held_h = h
+            else:
+                h = min(held_h, boundary - self._t)
 
             # 6. explicit march (Eq. 5)
             derivative_fn = self._frozen_derivative(reduced)
@@ -281,6 +334,8 @@ class LinearisedStateSpaceSolver:
         result.metadata["n_terminals"] = assembler.n_terminals
         result.metadata["lle_max_jacobian_change"] = self.lle_monitor.max_jacobian_change
         result.metadata["lle_flagged_steps"] = self.lle_monitor.n_flagged
+        result.metadata["relinearise_interval"] = hold_limit
+        result.metadata["n_jacobian_reuses"] = n_jacobian_reuses
         if self.digital_kernel is not None:
             result.metadata["digital_activations"] = self.digital_kernel.n_activations
         return result

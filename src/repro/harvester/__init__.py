@@ -9,11 +9,13 @@ from .config import (
 from .scenarios import (
     Scenario,
     charging_scenario,
+    prepare_assembly,
     run_baseline,
     run_proposed,
     run_reference,
     scenario_1,
     scenario_2,
+    scenario_solver_settings,
 )
 from .system import TunableEnergyHarvester, default_solver_settings
 
@@ -24,6 +26,8 @@ __all__ = [
     "paper_harvester",
     "Scenario",
     "charging_scenario",
+    "prepare_assembly",
+    "scenario_solver_settings",
     "run_baseline",
     "run_proposed",
     "run_reference",

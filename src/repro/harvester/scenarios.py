@@ -25,6 +25,7 @@ from typing import Optional, Sequence
 
 from ..blocks.microcontroller import ControllerSettings
 from ..blocks.vibration import FrequencyStep, VibrationSource
+from ..core.elimination import AssemblyStructure
 from ..core.integrators import ExplicitIntegrator
 from ..core.results import SimulationResult
 from ..core.solver import SolverSettings
@@ -36,6 +37,8 @@ __all__ = [
     "scenario_1",
     "scenario_2",
     "charging_scenario",
+    "prepare_assembly",
+    "scenario_solver_settings",
     "run_proposed",
     "run_baseline",
     "run_reference",
@@ -79,12 +82,20 @@ class Scenario:
             steps=list(self.frequency_steps),
         )
 
-    def build_harvester(self) -> TunableEnergyHarvester:
-        """Fresh harvester instance (one per simulation run)."""
+    def build_harvester(
+        self, assembly_structure: Optional[AssemblyStructure] = None
+    ) -> TunableEnergyHarvester:
+        """Fresh harvester instance (one per simulation run).
+
+        ``assembly_structure`` clones a previous same-topology assembly's
+        structural setup instead of recomputing it (see
+        :func:`prepare_assembly`).
+        """
         return TunableEnergyHarvester(
             config=self.config,
             vibration_source=self.build_source(),
             with_controller=self.with_controller,
+            assembly_structure=assembly_structure,
         )
 
     def scaled(self, duration_s: float) -> "Scenario":
@@ -212,19 +223,45 @@ def charging_scenario(
 # ---------------------------------------------------------------------- #
 # runners
 # ---------------------------------------------------------------------- #
+def scenario_solver_settings(scenario: Scenario) -> SolverSettings:
+    """Default fast-solver settings for a scenario.
+
+    The step limit resolves the highest excitation frequency the scenario
+    ever reaches (including scheduled frequency steps).  This is the
+    default :func:`run_proposed` applies when no settings are given; it is
+    exposed so sweep engines can reproduce the per-candidate default and
+    then layer solver-profile overrides on top.
+    """
+    max_frequency = max(
+        [scenario.config.excitation.frequency_hz]
+        + [step.frequency_hz for step in scenario.frequency_steps]
+    )
+    return default_solver_settings(max_frequency)
+
+
+def prepare_assembly(scenario: Scenario) -> AssemblyStructure:
+    """One-time structural assembly setup for a scenario's topology.
+
+    Builds a throwaway harvester and captures the
+    :class:`~repro.core.elimination.AssemblyStructure`, which can then be
+    passed to :func:`run_proposed` (or ``Scenario.build_harvester``) for
+    every candidate that shares the topology, cloning the prepared
+    assembly instead of rebuilding it.
+    """
+    return scenario.build_harvester().assembly_structure
+
+
 def run_proposed(
     scenario: Scenario,
     integrator: Optional[ExplicitIntegrator] = None,
     settings: Optional[SolverSettings] = None,
+    *,
+    assembly_structure: Optional[AssemblyStructure] = None,
 ) -> SimulationResult:
     """Simulate a scenario with the proposed linearised state-space solver."""
-    harvester = scenario.build_harvester()
+    harvester = scenario.build_harvester(assembly_structure=assembly_structure)
     if settings is None:
-        max_frequency = max(
-            [scenario.config.excitation.frequency_hz]
-            + [step.frequency_hz for step in scenario.frequency_steps]
-        )
-        settings = default_solver_settings(max_frequency)
+        settings = scenario_solver_settings(scenario)
     solver = harvester.build_solver(integrator=integrator, settings=settings)
     result = solver.run(scenario.duration_s)
     result.metadata["scenario"] = scenario.name

@@ -28,7 +28,7 @@ from ..blocks.tuning import MagneticTuningModel
 from ..blocks.vibration import VibrationSource
 from ..blocks.voltage_multiplier import DicksonMultiplier
 from ..core.digital import DigitalEventKernel
-from ..core.elimination import SystemAssembler
+from ..core.elimination import AssemblyStructure, SystemAssembler
 from ..core.errors import ConfigurationError
 from ..core.integrators import ExplicitIntegrator
 from ..core.netlist import Netlist
@@ -81,6 +81,14 @@ class TunableEnergyHarvester:
     with_controller:
         Whether to attach the digital tuning controller (Fig. 7).  Disable
         it for open-loop experiments such as the Table I charging run.
+    assembly_structure:
+        Optional :class:`~repro.core.elimination.AssemblyStructure` from a
+        previous same-topology harvester.  Design-exploration loops build
+        one harvester per candidate; passing the structure of the first
+        build clones-and-reparameterises the assembly instead of
+        recomputing the structural indexing.  A structure whose topology
+        signature does not match is ignored (the assembler recomputes),
+        so this is always safe to pass.
     """
 
     def __init__(
@@ -88,6 +96,7 @@ class TunableEnergyHarvester:
         config: Optional[HarvesterConfig] = None,
         vibration_source: Optional[VibrationSource] = None,
         with_controller: bool = True,
+        assembly_structure: Optional[AssemblyStructure] = None,
     ) -> None:
         self.config = config or paper_harvester()
         cfg = self.config
@@ -164,7 +173,7 @@ class TunableEnergyHarvester:
             current=("Ic", "Ic"),
             net_prefix="storage_port",
         )
-        self.assembler = SystemAssembler(self.netlist)
+        self.assembler = SystemAssembler(self.netlist, structure=assembly_structure)
 
     # ------------------------------------------------------------------ #
     # construction helpers
@@ -186,6 +195,11 @@ class TunableEnergyHarvester:
     def n_states(self) -> int:
         """Size of the assembled global state vector (11 for the paper system)."""
         return self.assembler.n_states
+
+    @property
+    def assembly_structure(self) -> AssemblyStructure:
+        """Reusable structural indexing (pass to same-topology rebuilds)."""
+        return self.assembler.structure
 
     def initial_state(self) -> np.ndarray:
         """Initial global state vector."""

@@ -1,19 +1,31 @@
-"""Trace export/import and report formatting."""
+"""Trace export/import, sweep checkpoints and report formatting."""
 
-from .csvio import export_result, export_traces, import_traces
+from .csvio import (
+    append_checkpoint_row,
+    export_result,
+    export_traces,
+    import_traces,
+    read_checkpoint,
+    write_checkpoint_header,
+)
 from .report import (
     format_duration,
     format_key_values,
     format_markdown_table,
+    format_sweep_progress,
     format_table,
 )
 
 __all__ = [
+    "append_checkpoint_row",
     "export_result",
     "export_traces",
     "import_traces",
+    "read_checkpoint",
+    "write_checkpoint_header",
     "format_duration",
     "format_key_values",
     "format_markdown_table",
+    "format_sweep_progress",
     "format_table",
 ]

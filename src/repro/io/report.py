@@ -10,7 +10,13 @@ from typing import List, Mapping, Optional, Sequence
 
 from ..core.errors import ConfigurationError
 
-__all__ = ["format_table", "format_markdown_table", "format_key_values", "format_duration"]
+__all__ = [
+    "format_table",
+    "format_markdown_table",
+    "format_key_values",
+    "format_duration",
+    "format_sweep_progress",
+]
 
 
 def format_duration(seconds: float) -> str:
@@ -24,6 +30,35 @@ def format_duration(seconds: float) -> str:
         return f"{int(minutes)}min {secs:.0f}s"
     hours, minutes = divmod(minutes, 60.0)
     return f"{int(hours)}h {int(minutes)}min"
+
+
+def format_sweep_progress(
+    done: int,
+    total: int,
+    best_score: Optional[float] = None,
+    best_parameters: Optional[Mapping[str, float]] = None,
+    *,
+    width: int = 24,
+) -> str:
+    """One-line progress report for a running sweep.
+
+    Shows a textual progress bar plus the best-so-far candidate, e.g.::
+
+        sweep [############------------] 12/24  best 3.1e-06 <- excitation_frequency_hz=70
+    """
+    if total <= 0:
+        raise ConfigurationError("total must be positive")
+    if done < 0 or done > total:
+        raise ConfigurationError(f"done={done} outside [0, {total}]")
+    filled = int(width * done / total)
+    bar = "#" * filled + "-" * (width - filled)
+    line = f"sweep [{bar}] {done}/{total}"
+    if best_score is not None:
+        line += f"  best {best_score:.6g}"
+        if best_parameters:
+            params = ", ".join(f"{k}={v:g}" for k, v in best_parameters.items())
+            line += f" <- {params}"
+    return line
 
 
 def _check_rows(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> None:
