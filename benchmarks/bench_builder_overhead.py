@@ -1,0 +1,225 @@
+"""Builder overhead: SystemBuilder-compiled vs hand-wired assembly.
+
+PR 2 moved the paper topology from ~300 lines of hand-wiring in
+``harvester/system.py`` onto the declarative spec layer (``paper_spec()``
+compiled by :class:`~repro.core.builder.SystemBuilder`).  The layer must
+be free: this benchmark measures
+
+* **construction only** — instantiate blocks + netlist + assembler both
+  ways (the builder additionally validates the spec and coerces every
+  parameter through the registry schema, costing tens of microseconds);
+* **end to end** — construction followed by a short charging simulation,
+  which is what a sweep candidate actually costs.  Here the builder must
+  be within noise of the hand-wired path (asserted at 5 % in full mode;
+  ``--quick`` reports the number without asserting, because a ~40 ms
+  wall-clock sample is itself inside scheduler noise on shared CI
+  runners), since the microsecond-scale construction delta vanishes
+  against the solve.
+
+Also asserts the two paths produce byte-identical storage-voltage
+waveforms (the structural guarantee behind all of this).
+
+Writes ``BENCH_builder.json`` (machine-readable, tracked across PRs) and
+``benchmarks/results/builder_overhead.txt``.
+
+Run via pytest or directly::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_builder_overhead.py -q
+    PYTHONPATH=src python benchmarks/bench_builder_overhead.py [--quick]
+"""
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.blocks.microgenerator import ElectromagneticMicrogenerator
+from repro.blocks.supercapacitor import Supercapacitor
+from repro.blocks.vibration import VibrationSource
+from repro.blocks.voltage_multiplier import DicksonMultiplier
+from repro.core import Netlist, SystemAssembler, SystemBuilder
+from repro.core.solver import LinearisedStateSpaceSolver
+from repro.harvester.config import paper_harvester
+from repro.harvester.system import default_solver_settings, paper_spec
+from repro.io.report import format_table
+
+#: end-to-end slowdown allowed for the builder path (noise bound)
+MAX_END_TO_END_OVERHEAD = 0.05
+
+JSON_PATH = Path("BENCH_builder.json")
+
+
+def _hand_wired_assembler(cfg):
+    source = VibrationSource(cfg.excitation.frequency_hz, cfg.excitation.amplitude_ms2)
+    generator = ElectromagneticMicrogenerator(
+        cfg.generator, source.acceleration, name="generator"
+    )
+    multiplier = DicksonMultiplier(
+        n_stages=cfg.multiplier_stages,
+        stage_capacitance_f=cfg.multiplier_capacitance_f,
+        output_capacitance_f=cfg.multiplier_output_capacitance_f,
+        input_capacitance_f=cfg.multiplier_input_capacitance_f,
+        diode_params=cfg.diode,
+        name="multiplier",
+    )
+    storage = Supercapacitor(
+        params=cfg.supercapacitor,
+        load_profile=cfg.load_profile,
+        initial_voltage_v=cfg.initial_storage_voltage_v,
+        name="storage",
+    )
+    netlist = Netlist()
+    for block in (generator, multiplier, storage):
+        netlist.add_block(block)
+    netlist.connect_port(
+        generator, multiplier, voltage=("Vm", "Vm"), current=("Im", "Im"),
+        net_prefix="generator_output",
+    )
+    netlist.connect_port(
+        multiplier, storage, voltage=("Vc", "Vc"), current=("Ic", "Ic"),
+        net_prefix="storage_port",
+    )
+    return SystemAssembler(netlist), storage
+
+
+def _hand_wired_run(cfg, duration_s):
+    assembler, storage = _hand_wired_assembler(cfg)
+    solver = LinearisedStateSpaceSolver(
+        assembler=assembler,
+        settings=default_solver_settings(cfg.excitation.frequency_hz),
+    )
+    idx_vc = assembler.net_index("storage", "Vc")
+    solver.add_probe("storage_voltage", lambda t, x, y: float(y[idx_vc]))
+    return solver.run(duration_s)
+
+
+def _builder_run(cfg, duration_s):
+    built = SystemBuilder(paper_spec(cfg, with_controller=False)).build()
+    solver = built.build_solver(
+        settings=default_solver_settings(cfg.excitation.frequency_hz)
+    )
+    return solver.run(duration_s)
+
+
+def _best_of_interleaved(fn_a, fn_b, repeats):
+    """Best-of timings for two paths, alternating runs.
+
+    Interleaving means a load spike hits both paths rather than biasing
+    whichever happened to run second; best-of discards the spikes.
+    """
+    times_a, times_b = [], []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn_a()
+        times_a.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        fn_b()
+        times_b.append(time.perf_counter() - t0)
+    return min(times_a), min(times_b)
+
+
+def run_benchmark(
+    *, construct_iters=200, run_repeats=5, duration_s=0.05, assert_overhead=True
+):
+    # pre-tuning is applied by the harvester wrapper, not by the raw
+    # hand-wiring replicated here, so compare the un-tuned open-loop system
+    cfg = paper_harvester().with_initial_tuning(None)
+
+    # byte-identical waveforms first — speed is meaningless otherwise
+    hand_result = _hand_wired_run(cfg, duration_s)
+    spec_result = _builder_run(cfg, duration_s)
+    assert np.array_equal(
+        hand_result["storage_voltage"].values,
+        spec_result["storage_voltage"].values,
+    ), "builder-compiled waveforms differ from the hand-wired assembly"
+
+    # construction-only timing (averaged: both are sub-millisecond)
+    _hand_wired_assembler(cfg)  # warm diode-table caches
+    t0 = time.perf_counter()
+    for _ in range(construct_iters):
+        _hand_wired_assembler(cfg)
+    t_construct_hand = (time.perf_counter() - t0) / construct_iters
+    t0 = time.perf_counter()
+    for _ in range(construct_iters):
+        SystemBuilder(paper_spec(cfg, with_controller=False)).build()
+    t_construct_builder = (time.perf_counter() - t0) / construct_iters
+
+    # end-to-end timing (interleaved best-of to suppress scheduler noise)
+    t_e2e_hand, t_e2e_builder = _best_of_interleaved(
+        lambda: _hand_wired_run(cfg, duration_s),
+        lambda: _builder_run(cfg, duration_s),
+        run_repeats,
+    )
+    overhead = t_e2e_builder / t_e2e_hand - 1.0
+
+    data = {
+        "benchmark": "builder_overhead",
+        "duration_s": duration_s,
+        "construct_hand_wired_ms": t_construct_hand * 1e3,
+        "construct_builder_ms": t_construct_builder * 1e3,
+        "construct_delta_us": (t_construct_builder - t_construct_hand) * 1e6,
+        "end_to_end_hand_wired_s": t_e2e_hand,
+        "end_to_end_builder_s": t_e2e_builder,
+        "end_to_end_overhead_rel": overhead,
+        "max_allowed_overhead_rel": MAX_END_TO_END_OVERHEAD,
+        "waveforms_byte_identical": True,
+    }
+    JSON_PATH.write_text(json.dumps(data, indent=2) + "\n")
+
+    report = format_table(
+        ["path", "construct [ms]", "end-to-end [s]"],
+        [
+            ["hand-wired", f"{t_construct_hand * 1e3:.3f}", f"{t_e2e_hand:.3f}"],
+            [
+                "SystemBuilder(paper_spec())",
+                f"{t_construct_builder * 1e3:.3f}",
+                f"{t_e2e_builder:.3f}",
+            ],
+        ],
+        title=(
+            f"builder overhead — {duration_s:g} s simulated, "
+            f"waveforms byte-identical, end-to-end overhead "
+            f"{overhead * 100:+.1f} % (bound {MAX_END_TO_END_OVERHEAD * 100:.0f} %)"
+        ),
+    )
+
+    if assert_overhead:
+        assert overhead <= MAX_END_TO_END_OVERHEAD, (
+            f"builder end-to-end overhead {overhead * 100:.1f} % exceeds the "
+            f"{MAX_END_TO_END_OVERHEAD * 100:.0f} % noise bound"
+        )
+    return report, data
+
+
+def test_builder_overhead(report_writer):
+    report, _data = run_benchmark()
+    report_writer("builder_overhead", report)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=(
+            "fewer construction iterations / repeats (CI smoke); the "
+            "correctness (byte-identity) check still runs, but the timing "
+            "bound is reported without asserting — a ~40 ms wall-clock "
+            "sample is inside scheduler noise on shared runners"
+        ),
+    )
+    args = parser.parse_args()
+    if args.quick:
+        report, data = run_benchmark(
+            construct_iters=50, run_repeats=2, duration_s=0.03, assert_overhead=False
+        )
+    else:
+        report, data = run_benchmark()
+    print(report)
+    print(f"\nwritten: {JSON_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -30,14 +30,21 @@ Run via pytest (writes ``benchmarks/results/sweep_scaling.txt``)::
 or directly, e.g. the CI smoke grid::
 
     PYTHONPATH=src python benchmarks/bench_sweep_scaling.py --quick
+
+Both entry points additionally write ``BENCH_sweep.json`` so the perf
+trajectory stays machine-readable across PRs.
 """
 
 import argparse
+import json
 import time
+from pathlib import Path
 
 from repro.analysis.sweep import ParameterSweep, average_power_metric
 from repro.harvester.scenarios import charging_scenario
 from repro.io.report import format_table
+
+JSON_PATH = Path("BENCH_sweep.json")
 
 #: documented score tolerance of the amortised-relinearisation profile
 SCORE_TOLERANCE_REL = 0.10
@@ -72,7 +79,30 @@ def build_sweep(grid, duration_s):
     )
 
 
-def run_comparison(grid, duration_s, *, assert_speedup=True):
+def _write_json(n_candidates, duration_s, t_serial, t_engine, speedup, max_dev, quick):
+    """Machine-readable record of the run (perf trajectory across PRs)."""
+    JSON_PATH.write_text(
+        json.dumps(
+            {
+                "benchmark": "sweep_scaling",
+                "quick": quick,
+                "n_candidates": n_candidates,
+                "duration_s_per_candidate": duration_s,
+                "workers": WORKERS,
+                "relinearise_interval": RELINEARISE_INTERVAL,
+                "t_serial_s": t_serial,
+                "t_engine_s": t_engine,
+                "speedup": speedup,
+                "max_rel_score_deviation": max_dev,
+                "score_tolerance_rel": SCORE_TOLERANCE_REL,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+
+def run_comparison(grid, duration_s, *, assert_speedup=True, quick=False):
     """Run serial vs engine, return (report_text, speedup, max_deviation)."""
     sweep = build_sweep(grid, duration_s)
     n_candidates = len(list(sweep.candidates()))
@@ -114,6 +144,9 @@ def run_comparison(grid, duration_s, *, assert_speedup=True):
         f"\nbest candidate (serial): {dict(serial.best().parameters)}"
         f"\nbest candidate (engine): {dict(engine.best().parameters)}"
     )
+    _write_json(
+        n_candidates, duration_s, t_serial, t_engine, speedup, max_deviation, quick
+    )
 
     assert serial.best().parameters == engine.best().parameters, (
         "the fast profile changed the winning candidate"
@@ -144,12 +177,13 @@ def main() -> None:
     args = parser.parse_args()
     if args.quick:
         report, speedup, max_dev = run_comparison(
-            QUICK_GRID, QUICK_DURATION_S, assert_speedup=False
+            QUICK_GRID, QUICK_DURATION_S, assert_speedup=False, quick=True
         )
     else:
         report, speedup, max_dev = run_comparison(FULL_GRID, FULL_DURATION_S)
     print(report)
     print(f"\nspeedup {speedup:.2f}x, max relative score deviation {max_dev:.2e}")
+    print(f"written: {JSON_PATH}")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,64 @@
+"""Electrostatic harvester: nonlinear block, finite-difference Jacobians.
+
+Second of the two "other microgenerator types" the paper's conclusion
+mentions.  The gap-closing electrostatic block deliberately ships without
+an analytic ``linearise`` — its terminal relation multiplies state
+variables — so this topology exercises the solver's finite-difference
+fallback end to end, exactly the "only the model equations are required"
+workflow the paper describes.  The spec adds a bias-replenishment path so
+energy conversion is sustained rather than a one-shot discharge.
+
+Run with::
+
+    python examples/electrostatic_harvester.py            # 0.5 s simulated
+    python examples/electrostatic_harvester.py --smoke    # CI smoke (fast)
+"""
+
+import argparse
+
+from repro import run_proposed
+from repro.analysis import average_power
+from repro.harvester.topologies import electrostatic_scenario
+from repro.io import format_key_values
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="short CI run (0.1 s simulated)"
+    )
+    args = parser.parse_args()
+
+    scenario = electrostatic_scenario(duration_s=0.1 if args.smoke else 0.5)
+    spec = scenario.spec
+    print(f"spec: {spec.name} — {spec.description}")
+    print(
+        f"blocks: {', '.join(f'{b.name}({b.key})' for b in spec.blocks)}; "
+        f"excitation {spec.excitation.frequency_hz:.1f} Hz at "
+        f"{spec.excitation.amplitude_ms2:g} m/s^2"
+    )
+
+    print(f"simulating {scenario.duration_s} s ...")
+    result = run_proposed(scenario)
+
+    power = result["generator_power"]
+    z = result["generator.z"]
+    summary = {
+        "solver": result.stats.solver_name,
+        "CPU time [s]": f"{result.stats.cpu_time_s:.2f}",
+        "accepted steps": result.stats.n_accepted_steps,
+        "average harvested power [nW]": f"{average_power(power) * 1e9:.1f}",
+        "proof-mass travel [um]": (
+            f"{z.values.min() * 1e6:.1f} .. {z.values.max() * 1e6:.1f}"
+        ),
+        "plate terminal voltage [V]": f"{result['generator_voltage'].final():.3f}",
+        "supercapacitor voltage [uV]": f"{result['storage_voltage'].final() * 1e6:.2f}",
+    }
+    print(format_key_values(summary, title="electrostatic harvester summary"))
+
+    assert result["storage_voltage"].final() > 0.0, "the store did not charge"
+    print("\nOK — the electrostatic system (finite-difference Jacobians) charges its store")
+
+
+if __name__ == "__main__":
+    main()

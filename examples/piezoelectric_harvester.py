@@ -1,0 +1,68 @@
+"""Piezoelectric harvester: a complete topology from a ~20-line spec.
+
+The paper's conclusion claims the linearised state-space technique extends
+to piezoelectric microgenerators as-is: "All that is required are the
+model equations of each component block."  This example demonstrates that
+the declarative system-description layer reduces the remaining work to a
+spec: the piezoelectric block drops into the same Dickson-multiplier +
+supercapacitor power chain the paper's electromagnetic device uses, and
+the same fast solver runs it.
+
+Run with::
+
+    python examples/piezoelectric_harvester.py            # 0.5 s simulated
+    python examples/piezoelectric_harvester.py --smoke    # CI smoke (fast)
+"""
+
+import argparse
+
+from repro import run_proposed
+from repro.analysis import average_power
+from repro.harvester.topologies import piezoelectric_scenario
+from repro.io import format_key_values, save_spec
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="short CI run (0.1 s simulated)"
+    )
+    parser.add_argument(
+        "--export-spec",
+        metavar="PATH.json",
+        help="also write the topology spec to a JSON file",
+    )
+    args = parser.parse_args()
+
+    scenario = piezoelectric_scenario(duration_s=0.1 if args.smoke else 0.5)
+    spec = scenario.spec
+    print(f"spec: {spec.name} — {spec.description}")
+    print(
+        f"blocks: {', '.join(f'{b.name}({b.key})' for b in spec.blocks)}; "
+        f"excitation {spec.excitation.frequency_hz:.1f} Hz at "
+        f"{spec.excitation.amplitude_ms2:g} m/s^2"
+    )
+    if args.export_spec:
+        print(f"spec written to {save_spec(spec, args.export_spec)}")
+
+    print(f"simulating {scenario.duration_s} s ...")
+    result = run_proposed(scenario)
+
+    power = result["generator_power"]
+    summary = {
+        "solver": result.stats.solver_name,
+        "CPU time [s]": f"{result.stats.cpu_time_s:.2f}",
+        "accepted steps": result.stats.n_accepted_steps,
+        "average harvested power [uW]": f"{average_power(power) * 1e6:.2f}",
+        "piezo terminal voltage [V]": f"{result['generator_voltage'].final():.3f}",
+        "supercapacitor voltage [mV]": f"{result['storage_voltage'].final() * 1e3:.3f}",
+    }
+    print(format_key_values(summary, title="piezoelectric harvester summary"))
+
+    final_voltage = result["storage_voltage"].final()
+    assert final_voltage > 0.0, "the store did not charge"
+    print(f"\nOK — the piezoelectric system charges its store ({final_voltage * 1e3:.3f} mV)")
+
+
+if __name__ == "__main__":
+    main()

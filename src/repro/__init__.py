@@ -28,8 +28,12 @@ Quick start::
 """
 
 from .core import (
+    BLOCK_REGISTRY,
     AdamsBashforth,
     AnalogueBlock,
+    BlockSpec,
+    ConnectionSpec,
+    ControllerSpec,
     ForwardEuler,
     LinearisedStateSpaceSolver,
     Netlist,
@@ -38,6 +42,8 @@ from .core import (
     SimulationResult,
     SolverSettings,
     SystemAssembler,
+    SystemBuilder,
+    SystemSpec,
     Trace,
     make_integrator,
 )
@@ -45,10 +51,17 @@ from .analysis import ParameterSweep, SweepEngine, sweep_excitation_frequency
 from .harvester import (
     HarvesterConfig,
     Scenario,
+    SpecScenario,
     TunableEnergyHarvester,
     charging_scenario,
     default_solver_settings,
+    electrostatic_scenario,
+    electrostatic_spec,
+    generator_variants,
     paper_harvester,
+    paper_spec,
+    piezoelectric_scenario,
+    piezoelectric_spec,
     prepare_assembly,
     run_baseline,
     run_proposed,
@@ -60,8 +73,12 @@ from .harvester import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "BLOCK_REGISTRY",
     "AdamsBashforth",
     "AnalogueBlock",
+    "BlockSpec",
+    "ConnectionSpec",
+    "ControllerSpec",
     "ForwardEuler",
     "LinearisedStateSpaceSolver",
     "Netlist",
@@ -70,6 +87,8 @@ __all__ = [
     "SimulationResult",
     "SolverSettings",
     "SystemAssembler",
+    "SystemBuilder",
+    "SystemSpec",
     "Trace",
     "make_integrator",
     "ParameterSweep",
@@ -77,10 +96,17 @@ __all__ = [
     "sweep_excitation_frequency",
     "HarvesterConfig",
     "Scenario",
+    "SpecScenario",
     "TunableEnergyHarvester",
     "charging_scenario",
     "default_solver_settings",
+    "electrostatic_scenario",
+    "electrostatic_spec",
+    "generator_variants",
     "paper_harvester",
+    "paper_spec",
+    "piezoelectric_scenario",
+    "piezoelectric_spec",
     "prepare_assembly",
     "run_baseline",
     "run_proposed",

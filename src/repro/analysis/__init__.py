@@ -25,6 +25,7 @@ from .sweep import (
     SweepPoint,
     SweepResult,
     average_power_metric,
+    format_sweep_value,
     harvested_energy_metric,
     sweep_excitation_frequency,
 )
@@ -58,6 +59,7 @@ __all__ = [
     "SweepPoint",
     "SweepResult",
     "average_power_metric",
+    "format_sweep_value",
     "harvested_energy_metric",
     "sweep_excitation_frequency",
     "WaveformComparison",

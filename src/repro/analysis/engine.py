@@ -14,7 +14,10 @@ workload.  This module turns the serial loop of
   a topology: the one-time :class:`~repro.core.elimination.AssemblyStructure`
   setup is computed once per worker (see
   :func:`repro.harvester.scenarios.prepare_assembly`) and cloned into every
-  same-topology candidate instead of being rebuilt per run;
+  same-topology candidate instead of being rebuilt per run.  Sweeps whose
+  grid *varies the topology itself* (spec-backed scenarios with
+  :class:`~repro.core.spec.BlockSpec` axis values) keep one cached
+  structure per distinct topology, keyed by the spec's structural hash;
 * **checkpoints** every finished candidate through
   :mod:`repro.io.csvio`, so an interrupted sweep resumes from the last
   completed candidate (``checkpoint_path=``);
@@ -82,7 +85,7 @@ class _Task:
     """One candidate to evaluate, fully resolved in the parent process."""
 
     index: int
-    parameters: Dict[str, float]
+    parameters: Dict[str, object]
     scenario: Scenario
     metric: Callable
     integrator: object
@@ -107,14 +110,21 @@ class _Outcome:
 _worker_structures: Dict[tuple, AssemblyStructure] = {}
 
 
-def _topology_key(scenario: Scenario) -> tuple:
-    """Cheap topology fingerprint of a scenario (no harvester build).
+def _topology_key(scenario) -> tuple:
+    """Topology fingerprint of a scenario (no harvester build).
 
-    Deliberately coarse: a collision only hands the assembler a structure
-    whose full signature does not match, which it rejects and recomputes
-    (see :class:`~repro.core.elimination.SystemAssembler`) — the cost of a
+    Scenarios provide their own via ``topology_key()``: config-backed
+    :class:`Scenario` instances return a coarse config fingerprint,
+    spec-backed ones the spec's structural hash — which is what makes
+    *topology axes* reuse one assembly structure per distinct topology.
+    A mismatch only hands the assembler a structure whose full signature
+    does not match, which it rejects and recomputes (see
+    :class:`~repro.core.elimination.SystemAssembler`) — the cost of a
     false hit is a recompute, never mis-indexing.
     """
+    own = getattr(scenario, "topology_key", None)
+    if callable(own):
+        return own()
     config = scenario.config
     return (
         type(config).__name__,
@@ -314,10 +324,7 @@ class SweepEngine:
     def _build_tasks(self, sweep, integrator, settings) -> List[_Task]:
         tasks: List[_Task] = []
         for index, candidate in enumerate(sweep.candidates()):
-            config = sweep.scenario.config
-            for name, value in candidate.items():
-                config = sweep.apply(config, name, value)
-            scenario = replace(sweep.scenario, config=config)
+            scenario = sweep.candidate_scenario(candidate)
             tasks.append(
                 _Task(
                     index=index,

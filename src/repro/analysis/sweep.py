@@ -18,6 +18,17 @@ best-so-far reporting (:func:`repro.io.report.format_sweep_progress`), and
 ``relinearise_interval=`` opts into the engine's amortised-relinearisation
 solver profile (2-3x faster per candidate, documented 10 % relative score
 tolerance, typically a few percent).  See :mod:`repro.analysis.engine`.
+
+Sweeps are **topology-aware**: the base scenario may be a spec-backed
+:class:`~repro.harvester.topologies.SpecScenario`, in which case grid axes
+address the :class:`~repro.core.spec.SystemSpec` — dotted names
+(``"multiplier.stage_capacitance_f"``) override block parameters,
+``excitation_frequency_hz``/``excitation_amplitude_ms2`` move the ambient
+tone, and an axis whose *values* are :class:`~repro.core.spec.BlockSpec`
+objects swaps whole blocks, i.e. sweeps the *topology* itself (use
+:func:`repro.harvester.topologies.generator_variants` for ready-made
+generator alternatives).  The engine reuses one assembly structure per
+distinct topology, keyed by the spec's structural hash.
 """
 
 from __future__ import annotations
@@ -28,11 +39,19 @@ from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, 
 
 from ..core.errors import ConfigurationError
 from ..core.results import SimulationResult
+from ..core.spec import BlockSpec, SystemSpec
 from ..harvester.config import HarvesterConfig
 from ..harvester.scenarios import Scenario
+from ..io.report import format_sweep_value
 from .power import average_power, energy
 
-__all__ = ["SweepPoint", "SweepResult", "ParameterSweep", "sweep_excitation_frequency"]
+__all__ = [
+    "SweepPoint",
+    "SweepResult",
+    "ParameterSweep",
+    "format_sweep_value",
+    "sweep_excitation_frequency",
+]
 
 #: a metric maps a finished simulation to a scalar score (higher is better)
 MetricFn = Callable[[SimulationResult], float]
@@ -40,9 +59,13 @@ MetricFn = Callable[[SimulationResult], float]
 
 @dataclass(frozen=True)
 class SweepPoint:
-    """One evaluated candidate of a sweep."""
+    """One evaluated candidate of a sweep.
 
-    parameters: Mapping[str, float]
+    Parameter values are usually floats, but topology axes carry
+    :class:`~repro.core.spec.BlockSpec` values (displayed by their key).
+    """
+
+    parameters: Mapping[str, object]
     score: float
     metadata: Mapping[str, object] = field(default_factory=dict)
 
@@ -73,7 +96,9 @@ class SweepResult:
         """Plain-text ranking table."""
         lines = [f"sweep ranked by {self.metric_name} (best first)"]
         for point in self.sorted_points():
-            params = ", ".join(f"{k}={v:g}" for k, v in point.parameters.items())
+            params = ", ".join(
+                f"{k}={format_sweep_value(v)}" for k, v in point.parameters.items()
+            )
             lines.append(f"  {point.score:.6g}  <-  {params}")
         return "\n".join(lines)
 
@@ -89,19 +114,26 @@ def average_power_metric(result: SimulationResult) -> float:
 
 
 class ParameterSweep:
-    """Grid sweep over scenario-configuration modifications.
+    """Grid sweep over scenario-configuration (or spec) modifications.
 
     Parameters
     ----------
     scenario:
-        Base scenario; each candidate gets a modified copy of its config.
+        Base scenario; each candidate gets a modified copy.  Accepts the
+        paper's config-backed :class:`~repro.harvester.scenarios.Scenario`
+        and spec-backed
+        :class:`~repro.harvester.topologies.SpecScenario` instances.
     parameters:
         Mapping from parameter name to the values to try.  Modification is
         performed by ``apply`` below.
     apply:
-        Callable ``(config, name, value) -> config`` returning a modified
-        configuration.  A default is provided for the common parameters
-        (excitation frequency/amplitude, initial storage voltage).
+        Callable returning the modified description for one axis value:
+        ``(config, name, value) -> config`` for config-backed scenarios,
+        ``(spec, name, value) -> spec`` for spec-backed ones.  The default
+        handles the common parameters (excitation frequency/amplitude,
+        initial storage voltage for configs; excitation, dotted
+        ``block.param`` paths and whole-:class:`BlockSpec` swaps for
+        specs).
     metric:
         Scoring function (defaults to harvested energy).
     """
@@ -109,9 +141,9 @@ class ParameterSweep:
     def __init__(
         self,
         scenario: Scenario,
-        parameters: Mapping[str, Sequence[float]],
+        parameters: Mapping[str, Sequence[object]],
         *,
-        apply: Optional[Callable[[HarvesterConfig, str, float], HarvesterConfig]] = None,
+        apply: Optional[Callable] = None,
         metric: MetricFn = harvested_energy_metric,
         metric_name: str = "harvested_energy_J",
     ) -> None:
@@ -122,15 +154,46 @@ class ParameterSweep:
         for name, values in self.parameters.items():
             if not values:
                 raise ConfigurationError(f"parameter {name!r} has no values to sweep")
-        self.apply = apply or _default_apply
+        self.spec_backed = isinstance(
+            getattr(scenario, "spec", None), SystemSpec
+        ) and hasattr(scenario, "with_spec")
+        if apply is not None:
+            self.apply = apply
+        else:
+            self.apply = _default_spec_apply if self.spec_backed else _default_apply
         self.metric = metric
         self.metric_name = metric_name
 
-    def candidates(self) -> Iterable[Dict[str, float]]:
+    def candidates(self) -> Iterable[Dict[str, object]]:
         """Iterate over the full parameter grid."""
         names = list(self.parameters)
         for combination in itertools.product(*(self.parameters[n] for n in names)):
             yield dict(zip(names, combination))
+
+    def candidate_scenario(self, candidate: Mapping[str, object]):
+        """The scenario evaluating one grid point.
+
+        Applies every axis value through ``apply`` to the base scenario's
+        config (config-backed) or spec (spec-backed) and returns a fresh
+        scenario copy.  For spec-backed sweeps, :class:`BlockSpec`-valued
+        axes (topology swaps) are applied *first* regardless of grid
+        order: swapping a block replaces all of its parameters, so a
+        swap applied after a dotted ``block.param`` override would
+        silently discard the override.
+        """
+        if self.spec_backed:
+            spec = self.scenario.spec
+            items = sorted(
+                candidate.items(),
+                key=lambda kv: 0 if isinstance(kv[1], BlockSpec) else 1,
+            )
+            for name, value in items:
+                spec = self.apply(spec, name, value)
+            return self.scenario.with_spec(spec)
+        config = self.scenario.config
+        for name, value in candidate.items():
+            config = self.apply(config, name, value)
+        return replace(self.scenario, config=config)
 
     def run(
         self,
@@ -177,6 +240,32 @@ def _default_apply(config: HarvesterConfig, name: str, value: float) -> Harveste
         return replace(config, multiplier_capacitance_f=value)
     raise ConfigurationError(
         f"unknown sweep parameter {name!r}; provide a custom apply callable"
+    )
+
+
+def _default_spec_apply(spec: SystemSpec, name: str, value: object) -> SystemSpec:
+    """Default axis semantics for spec-backed sweeps.
+
+    * a :class:`BlockSpec` value replaces the same-named block — the axis
+      sweeps the *topology* (the axis name is only a label; the block's own
+      ``name`` decides what it replaces);
+    * ``excitation_frequency_hz`` / ``excitation_amplitude_ms2`` move the
+      ambient tone;
+    * a dotted ``block.param`` name overrides one block parameter.
+    """
+    if isinstance(value, BlockSpec):
+        return spec.with_block(value)
+    if name == "excitation_frequency_hz":
+        return spec.with_excitation(frequency_hz=float(value))
+    if name == "excitation_amplitude_ms2":
+        return spec.with_excitation(amplitude_ms2=float(value))
+    if "." in name:
+        block_name, param = name.split(".", 1)
+        return spec.with_block_params(block_name, {param: value})
+    raise ConfigurationError(
+        f"unknown spec sweep parameter {name!r}; use a dotted "
+        "'block.param' path, an excitation axis, BlockSpec values, or a "
+        "custom apply callable"
     )
 
 

@@ -6,14 +6,27 @@ capacitor: the vibrating proof mass changes the electrode gap, and with a
 bias charge on the plates the capacitance change pumps energy into the
 electrical domain.
 
-Lumped model (charge-constrained operation):
+Lumped model (charge-constrained operation with optional bias
+replenishment):
 
 .. math::
 
    m \\ddot z + c \\dot z + k z + \\frac{Q^2}{2 \\varepsilon_0 A} = F_a \\\\
-   \\dot Q = I_m \\qquad V_m = \\frac{Q (g_0 - z)}{\\varepsilon_0 A}
+   \\dot Q = -I_m + \\frac{V_b - V_{cap}}{R_r} \\qquad
+   V_m = V_{cap} - R_s I_m \\qquad
+   V_{cap} = \\frac{Q (g_0 - z)}{\\varepsilon_0 A}
 
-State variables: ``z``, ``v``, ``Q``.  Terminal variables: ``Vm``, ``Im``.
+State variables: ``z``, ``v``, ``Q``.  Terminal variables: ``Vm``, ``Im``,
+with ``Im`` the current delivered *into* the attached load (the same
+convention as the electromagnetic generator, so the blocks are
+interchangeable on one power chain).  ``R_s`` is an optional series
+resistance (0 by default).  ``V_b``/``R_r`` model the bias-voltage
+replenishment path of a practical electret/charge-pump harvester: the
+plate charge drained through the rectifier is restored from the bias
+source while the plates are close (low voltage), so energy conversion is
+sustained cycle after cycle instead of a one-shot discharge of the
+initial charge.  ``R_r = 0`` (default) disables the path, recovering the
+strict charge-constrained model.
 The terminal-voltage relation is genuinely nonlinear (product of state
 variables), so this block deliberately *omits* an analytic ``linearise``
 and exercises the solver's finite-difference fallback — demonstrating that
@@ -47,6 +60,19 @@ class ElectrostaticParameters:
     plate_area_m2: float = 4e-4
     nominal_gap_m: float = 100e-6
     bias_charge_c: float = 2e-8
+    #: lead/contact series resistance; the terminal relation becomes
+    #: ``Vm = Vcap - Rs Im``.  0 keeps the ideal contract but is singular
+    #: against loads that pin their own input voltage; electrostatic
+    #: harvesters are high-impedance devices, so megaohm-scale values are
+    #: physical and also keep the plate-charge time constant ``Rs C``
+    #: within the explicit solver's non-stiff regime.
+    series_resistance_ohm: float = 0.0
+    #: bias source voltage of the charge-replenishment path (electret /
+    #: charge pump); only active when ``recharge_resistance_ohm > 0``
+    bias_voltage_v: float = 0.0
+    #: resistance of the replenishment path; 0 disables it (strict
+    #: charge-constrained operation, the plate charge is one-shot)
+    recharge_resistance_ohm: float = 0.0
 
     def __post_init__(self) -> None:
         checks = (
@@ -62,6 +88,12 @@ class ElectrostaticParameters:
             raise ConfigurationError("parasitic damping must be non-negative")
         if self.bias_charge_c < 0.0:
             raise ConfigurationError("bias charge must be non-negative")
+        if self.series_resistance_ohm < 0.0:
+            raise ConfigurationError("series resistance must be non-negative")
+        if self.bias_voltage_v < 0.0:
+            raise ConfigurationError("bias voltage must be non-negative")
+        if self.recharge_resistance_ohm < 0.0:
+            raise ConfigurationError("recharge resistance must be non-negative")
 
     @property
     def untuned_frequency_hz(self) -> float:
@@ -98,6 +130,9 @@ class ElectrostaticMicrogenerator(AnalogueBlock):
         p = self.params
         return max(p.nominal_gap_m - z, 0.05 * p.nominal_gap_m)
 
+    def _capacitor_voltage(self, z: float, q: float) -> float:
+        return q * self._gap(z) / (_EPSILON_0 * self.params.plate_area_m2)
+
     def derivatives(self, t: float, x: np.ndarray, y: np.ndarray) -> np.ndarray:
         p = self.params
         z, v, q = x
@@ -109,14 +144,21 @@ class ElectrostaticMicrogenerator(AnalogueBlock):
             - electrostatic_force
             + p.proof_mass_kg * float(self._acceleration(t))
         ) / p.proof_mass_kg
-        return np.array([v, acceleration, im])
+        # Im delivered into the load drains the plates; the bias path (when
+        # enabled) restores charge towards the bias voltage
+        dq = -im
+        if p.recharge_resistance_ohm > 0.0:
+            dq += (
+                p.bias_voltage_v - self._capacitor_voltage(z, q)
+            ) / p.recharge_resistance_ohm
+        return np.array([v, acceleration, dq])
 
     def algebraic_residual(self, t: float, x: np.ndarray, y: np.ndarray) -> np.ndarray:
         p = self.params
         z, _v, q = x
-        vm, _im = y
-        capacitor_voltage = q * self._gap(z) / (_EPSILON_0 * p.plate_area_m2)
-        return np.array([vm - capacitor_voltage])
+        vm, im = y
+        capacitor_voltage = self._capacitor_voltage(z, q)
+        return np.array([vm - capacitor_voltage + p.series_resistance_ohm * im])
 
     def initial_state(self) -> np.ndarray:
         # pre-charged plates at rest

@@ -13,7 +13,9 @@ for the standard lumped piezoelectric harvester model:
 
 where ``Theta`` is the electromechanical coupling coefficient and ``C_p``
 the piezo clamp capacitance.  State variables: ``z``, ``v``, ``Vp``;
-terminal variables: ``Vm``, ``Im`` with the constraint ``Vm = Vp``.
+terminal variables: ``Vm``, ``Im`` with the constraint
+``Vm = Vp - Rs Im`` (``Rs`` is the electrode series resistance, 0 by
+default, giving the ideal ``Vm = Vp``).
 
 The block exposes the same ``tuning_force`` control and resonance
 properties as the electromagnetic generator so it can be dropped into the
@@ -45,6 +47,15 @@ class PiezoelectricParameters:
     coupling_n_per_v: float = 1.5e-3
     clamp_capacitance_f: float = 60e-9
     buckling_load_n: float = 1.0
+    #: electrode/lead series resistance; the terminal relation becomes
+    #: ``Vm = Vp - Rs Im``.  0 keeps the ideal ``Vm = Vp`` contract, but a
+    #: positive value is required when the load itself pins the terminal
+    #: voltage (e.g. the Dickson multiplier's input-filter node) — otherwise
+    #: the assembled algebraic system is singular.  Values of a few
+    #: kilo-ohms also bound the fastest electrical time constant, keeping
+    #: the coupled system in the non-stiff regime the explicit solver
+    #: targets (same reasoning as the multiplier's diode resistance).
+    series_resistance_ohm: float = 0.0
 
     def __post_init__(self) -> None:
         checks = (
@@ -59,6 +70,8 @@ class PiezoelectricParameters:
                 raise ConfigurationError(f"{label} must be positive, got {value}")
         if self.parasitic_damping < 0.0:
             raise ConfigurationError("parasitic damping must be non-negative")
+        if self.series_resistance_ohm < 0.0:
+            raise ConfigurationError("series resistance must be non-negative")
 
     @property
     def untuned_frequency_hz(self) -> float:
@@ -144,12 +157,12 @@ class PiezoelectricMicrogenerator(AnalogueBlock):
         return jxx @ x + jxy @ y + ex
 
     def algebraic_residual(self, t: float, x: np.ndarray, y: np.ndarray) -> np.ndarray:
-        # terminal voltage equals the piezo capacitance voltage
-        return np.array([y[0] - x[2]])
+        # terminal voltage = piezo capacitance voltage minus the series drop
+        return np.array([y[0] - x[2] + self.params.series_resistance_ohm * y[1]])
 
     def linearise(self, t: float, x: np.ndarray, y: np.ndarray) -> BlockLinearisation:
         jxx, jxy, ex = self._matrices(t)
         jyx = np.array([[0.0, 0.0, -1.0]])
-        jyy = np.array([[1.0, 0.0]])
+        jyy = np.array([[1.0, self.params.series_resistance_ohm]])
         ey = np.zeros(1)
         return BlockLinearisation(jxx=jxx, jxy=jxy, ex=ex, jyx=jyx, jyy=jyy, ey=ey)

@@ -14,6 +14,12 @@ Public surface:
 """
 
 from .block import AnalogueBlock, BlockLinearisation, LinearBlock, Terminal
+from .builder import (
+    BuildContext,
+    BuiltSystem,
+    SystemBuilder,
+    solver_settings_for_frequency,
+)
 from .digital import AnalogueInterface, DigitalEventKernel, DigitalProcess
 from .elimination import (
     AssemblyStructure,
@@ -45,8 +51,21 @@ from .lle import LLEMonitor, LLESample
 from .linearise import finite_difference_jacobian, linearise_block, linearise_block_numerically
 from .netlist import Net, Netlist
 from .pwl import CompanionTable, PWLTable, build_companion_table, build_table
+from .registry import BLOCK_REGISTRY, BlockRegistry, ParameterField, RegistryEntry, register_block
 from .results import SimulationResult, SolverStats, Stopwatch, Trace, TraceRecorder
 from .solver import LinearisedStateSpaceSolver, SolverSettings
+from .spec import (
+    BlockSpec,
+    ConnectionSpec,
+    ControllerSpec,
+    ExcitationSpec,
+    FrequencyStepSpec,
+    InterfaceControlSpec,
+    InterfaceProbeSpec,
+    ProbeSpec,
+    SolverHints,
+    SystemSpec,
+)
 from .stability import (
     diagonal_dominance_step_limit,
     is_diagonally_dominant,
@@ -70,6 +89,26 @@ __all__ = [
     "SystemAssembler",
     "GlobalLinearisation",
     "ReducedSystem",
+    # declarative system description
+    "BLOCK_REGISTRY",
+    "BlockRegistry",
+    "ParameterField",
+    "RegistryEntry",
+    "register_block",
+    "BlockSpec",
+    "ConnectionSpec",
+    "ControllerSpec",
+    "ExcitationSpec",
+    "FrequencyStepSpec",
+    "InterfaceControlSpec",
+    "InterfaceProbeSpec",
+    "ProbeSpec",
+    "SolverHints",
+    "SystemSpec",
+    "BuildContext",
+    "BuiltSystem",
+    "SystemBuilder",
+    "solver_settings_for_frequency",
     # integration
     "ExplicitIntegrator",
     "ForwardEuler",

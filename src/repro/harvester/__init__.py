@@ -17,9 +17,26 @@ from .scenarios import (
     scenario_2,
     scenario_solver_settings,
 )
-from .system import TunableEnergyHarvester, default_solver_settings
+from .system import TunableEnergyHarvester, default_solver_settings, paper_spec
+from .topologies import (
+    SpecScenario,
+    electromagnetic_spec,
+    electrostatic_scenario,
+    electrostatic_spec,
+    generator_variants,
+    piezoelectric_scenario,
+    piezoelectric_spec,
+)
 
 __all__ = [
+    "SpecScenario",
+    "paper_spec",
+    "electromagnetic_spec",
+    "electrostatic_scenario",
+    "electrostatic_spec",
+    "generator_variants",
+    "piezoelectric_scenario",
+    "piezoelectric_spec",
     "ExcitationConfig",
     "HarvesterConfig",
     "TuningMechanismConfig",

@@ -102,6 +102,22 @@ class Scenario:
         """Copy of the scenario with a different simulated duration."""
         return replace(self, duration_s=duration_s)
 
+    def topology_key(self) -> tuple:
+        """Cheap topology fingerprint (assembly-reuse cache key).
+
+        Deliberately coarse: a collision only hands the assembler a
+        structure whose full signature does not match, which it rejects
+        and recomputes — the cost of a false hit is a recompute, never
+        mis-indexing.  Spec-backed scenarios
+        (:class:`repro.harvester.topologies.SpecScenario`) return their
+        spec's structural topology hash instead.
+        """
+        return (
+            type(self.config).__name__,
+            getattr(self.config, "multiplier_stages", None),
+            self.with_controller,
+        )
+
 
 def _scaled_controller(paper_timescale: bool) -> ControllerSettings:
     """Controller timings: scaled (default) or publication-scale."""
@@ -232,6 +248,9 @@ def scenario_solver_settings(scenario: Scenario) -> SolverSettings:
     exposed so sweep engines can reproduce the per-candidate default and
     then layer solver-profile overrides on top.
     """
+    own = getattr(scenario, "solver_settings", None)
+    if callable(own):  # spec-backed scenarios derive settings from the spec
+        return own()
     max_frequency = max(
         [scenario.config.excitation.frequency_hz]
         + [step.frequency_hz for step in scenario.frequency_steps]
@@ -251,6 +270,20 @@ def prepare_assembly(scenario: Scenario) -> AssemblyStructure:
     return scenario.build_harvester().assembly_structure
 
 
+def _attach_metadata(result: SimulationResult, scenario, harvester) -> SimulationResult:
+    """Scenario name + controller bookkeeping (when the controller keeps any)."""
+    result.metadata["scenario"] = scenario.name
+    controller = getattr(harvester, "controller", None)
+    if controller is not None:
+        event_log = getattr(controller, "event_log", None)
+        if event_log is not None:
+            result.metadata["controller_events"] = list(event_log)
+        n_completed = getattr(controller, "n_tunings_completed", None)
+        if n_completed is not None:
+            result.metadata["n_tunings_completed"] = n_completed
+    return result
+
+
 def run_proposed(
     scenario: Scenario,
     integrator: Optional[ExplicitIntegrator] = None,
@@ -258,17 +291,18 @@ def run_proposed(
     *,
     assembly_structure: Optional[AssemblyStructure] = None,
 ) -> SimulationResult:
-    """Simulate a scenario with the proposed linearised state-space solver."""
+    """Simulate a scenario with the proposed linearised state-space solver.
+
+    Accepts both the paper's :class:`Scenario` and spec-backed
+    :class:`~repro.harvester.topologies.SpecScenario` instances — anything
+    providing ``build_harvester``/``duration_s``/``name``.
+    """
     harvester = scenario.build_harvester(assembly_structure=assembly_structure)
     if settings is None:
         settings = scenario_solver_settings(scenario)
     solver = harvester.build_solver(integrator=integrator, settings=settings)
     result = solver.run(scenario.duration_s)
-    result.metadata["scenario"] = scenario.name
-    if harvester.controller is not None:
-        result.metadata["controller_events"] = list(harvester.controller.event_log)
-        result.metadata["n_tunings_completed"] = harvester.controller.n_tunings_completed
-    return result
+    return _attach_metadata(result, scenario, harvester)
 
 
 def run_baseline(scenario: Scenario, **solver_kwargs) -> SimulationResult:
@@ -276,11 +310,7 @@ def run_baseline(scenario: Scenario, **solver_kwargs) -> SimulationResult:
     harvester = scenario.build_harvester()
     solver = harvester.build_baseline_solver(**solver_kwargs)
     result = solver.run(scenario.duration_s)
-    result.metadata["scenario"] = scenario.name
-    if harvester.controller is not None:
-        result.metadata["controller_events"] = list(harvester.controller.event_log)
-        result.metadata["n_tunings_completed"] = harvester.controller.n_tunings_completed
-    return result
+    return _attach_metadata(result, scenario, harvester)
 
 
 def run_reference(scenario: Scenario, settings=None) -> SimulationResult:
@@ -294,8 +324,4 @@ def run_reference(scenario: Scenario, settings=None) -> SimulationResult:
     )
     harvester._wire(solver)
     result = solver.run(scenario.duration_s)
-    result.metadata["scenario"] = scenario.name
-    if harvester.controller is not None:
-        result.metadata["controller_events"] = list(harvester.controller.event_log)
-        result.metadata["n_tunings_completed"] = harvester.controller.n_tunings_completed
-    return result
+    return _attach_metadata(result, scenario, harvester)

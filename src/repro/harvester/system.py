@@ -1,12 +1,16 @@
 """Assembly of the complete mixed-technology tunable energy harvester.
 
-This module realises Fig. 1 / Fig. 3 of the paper in code: it instantiates
-the microgenerator, the Dickson voltage multiplier and the supercapacitor
-(+ equivalent load), wires their terminal variables into a netlist, builds
-the :class:`~repro.core.elimination.SystemAssembler` (the global state
-model of Section III-E — 12 states here: the paper's 11 plus the
-multiplier's input-filter node, see DESIGN.md) and attaches the digital
-tuning controller through the discrete-event kernel.
+This module realises Fig. 1 / Fig. 3 of the paper in code — but the wiring
+itself now lives in the declarative system-description layer:
+:func:`paper_spec` produces the :class:`~repro.core.spec.SystemSpec` of the
+paper's case-study topology (electromagnetic microgenerator, Dickson
+voltage multiplier, supercapacitor + equivalent load, digital tuning
+controller), and :class:`~repro.core.builder.SystemBuilder` compiles it
+into the netlist, the :class:`~repro.core.elimination.SystemAssembler`
+(the global state model of Section III-E — 12 states here: the paper's 11
+plus the multiplier's input-filter node, see DESIGN.md) and the attached
+digital kernel.  :class:`TunableEnergyHarvester` remains the convenience
+wrapper with the historical public API.
 
 A :class:`TunableEnergyHarvester` instance owns mutable component state
 (tuning force, actuator position, controller bookkeeping), so a fresh
@@ -16,26 +20,33 @@ in :mod:`repro.harvester.scenarios` do exactly that.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Optional
 
 import numpy as np
 
 from ..blocks.actuator import LinearActuator
-from ..blocks.microcontroller import ControllerSettings, TuningController
-from ..blocks.microgenerator import ElectromagneticMicrogenerator
-from ..blocks.supercapacitor import Supercapacitor
+from ..blocks.microcontroller import TuningController
 from ..blocks.tuning import MagneticTuningModel
 from ..blocks.vibration import VibrationSource
-from ..blocks.voltage_multiplier import DicksonMultiplier
+from ..core.builder import BuildContext, SystemBuilder, solver_settings_for_frequency
 from ..core.digital import DigitalEventKernel
-from ..core.elimination import AssemblyStructure, SystemAssembler
+from ..core.elimination import AssemblyStructure
 from ..core.errors import ConfigurationError
 from ..core.integrators import ExplicitIntegrator
-from ..core.netlist import Netlist
 from ..core.solver import LinearisedStateSpaceSolver, SolverSettings
+from ..core.spec import (
+    BlockSpec,
+    ConnectionSpec,
+    ControllerSpec,
+    ExcitationSpec,
+    InterfaceControlSpec,
+    InterfaceProbeSpec,
+    ProbeSpec,
+    SystemSpec,
+)
 from .config import HarvesterConfig, paper_harvester
 
-__all__ = ["TunableEnergyHarvester", "default_solver_settings"]
+__all__ = ["TunableEnergyHarvester", "default_solver_settings", "paper_spec"]
 
 
 def default_solver_settings(
@@ -46,25 +57,181 @@ def default_solver_settings(
 ) -> SolverSettings:
     """Solver settings whose step limit resolves the vibration waveform.
 
-    The stability control of the solver bounds the step from the system's
-    eigenvalues, but accuracy additionally requires sampling the sinusoidal
-    excitation finely enough; this helper caps the step at
-    ``1 / (points_per_period * f)`` — the "fine simulation time-step of less
-    than a millisecond" the paper describes for vibration harvesters.
+    Thin alias of
+    :func:`repro.core.builder.solver_settings_for_frequency`, kept here
+    because the harvester layer is where users historically import it from.
     """
-    if excitation_frequency_hz <= 0.0:
-        raise ConfigurationError("excitation frequency must be positive")
-    if points_per_period < 4:
-        raise ConfigurationError("points_per_period must be at least 4")
-    from ..core.stepper import StepControlSettings
-
-    h_max = 1.0 / (points_per_period * excitation_frequency_hz)
-    step_control = StepControlSettings(
-        h_initial=h_max / 8.0,
-        h_min=h_max / 1e6,
-        h_max=h_max,
+    return solver_settings_for_frequency(
+        excitation_frequency_hz,
+        points_per_period=points_per_period,
+        record_interval=record_interval,
     )
-    return SolverSettings(step_control=step_control, record_interval=record_interval)
+
+
+def _tuning_model_from_config(cfg: HarvesterConfig) -> MagneticTuningModel:
+    """The magnetic tuning model implied by a harvester configuration."""
+    return MagneticTuningModel(
+        untuned_frequency_hz=cfg.generator.untuned_frequency_hz,
+        buckling_load_n=cfg.tuning.buckling_load_n,
+        force_constant=cfg.tuning.force_constant,
+        exponent=cfg.tuning.force_exponent,
+        min_gap_m=cfg.tuning.min_gap_m,
+        max_gap_m=cfg.tuning.max_gap_m,
+    )
+
+
+def _initial_tuning(cfg: HarvesterConfig) -> tuple:
+    """(tuning force, actuator gap) realising the configured pre-tuning."""
+    if cfg.initial_tuned_frequency_hz is None:
+        return 0.0, 0.0
+    model = _tuning_model_from_config(cfg)
+    f_min, f_max = model.frequency_range()
+    target = min(max(cfg.initial_tuned_frequency_hz, f_min), f_max)
+    return model.force_for_frequency(target), model.gap_for_frequency(target)
+
+
+def paper_spec(
+    config: Optional[HarvesterConfig] = None, *, with_controller: bool = True
+) -> SystemSpec:
+    """The paper's Fig. 1 / Fig. 3 case-study topology as a declarative spec.
+
+    The returned spec is self-contained: compiling it with a bare
+    :class:`~repro.core.builder.SystemBuilder` yields a runnable system
+    (including the digital tuning controller when ``with_controller``),
+    with the standard probes and the Fig. 7 digital interface declared.
+    :class:`TunableEnergyHarvester` compiles exactly this spec.
+    """
+    cfg = config or paper_harvester()
+    gen = cfg.generator
+    initial_force, initial_gap = _initial_tuning(cfg)
+
+    blocks = (
+        BlockSpec(
+            "electromagnetic_generator",
+            "generator",
+            {
+                "proof_mass_kg": gen.proof_mass_kg,
+                "parasitic_damping": gen.parasitic_damping,
+                "spring_stiffness": gen.spring_stiffness,
+                "flux_linkage": gen.flux_linkage,
+                "coil_resistance": gen.coil_resistance,
+                "coil_inductance": gen.coil_inductance,
+                "buckling_load_n": gen.buckling_load_n,
+                "tuning_force_z_fraction": gen.tuning_force_z_fraction,
+                "initial_tuning_force_n": initial_force,
+            },
+        ),
+        BlockSpec(
+            "dickson_multiplier",
+            "multiplier",
+            {
+                "n_stages": cfg.multiplier_stages,
+                "stage_capacitance_f": cfg.multiplier_capacitance_f,
+                "output_capacitance_f": cfg.multiplier_output_capacitance_f,
+                "input_capacitance_f": cfg.multiplier_input_capacitance_f,
+                "diode_saturation_current_a": cfg.diode.saturation_current_a,
+                "diode_thermal_voltage_v": cfg.diode.thermal_voltage_v,
+                "diode_series_resistance_ohm": cfg.diode.series_resistance_ohm,
+                "diode_reverse_conductance_s": cfg.diode.reverse_conductance_s,
+            },
+        ),
+        BlockSpec(
+            "supercapacitor",
+            "storage",
+            {
+                "immediate_resistance_ohm": cfg.supercapacitor.immediate_resistance_ohm,
+                "immediate_capacitance_f": cfg.supercapacitor.immediate_capacitance_f,
+                "delayed_resistance_ohm": cfg.supercapacitor.delayed_resistance_ohm,
+                "delayed_capacitance_f": cfg.supercapacitor.delayed_capacitance_f,
+                "longterm_resistance_ohm": cfg.supercapacitor.longterm_resistance_ohm,
+                "longterm_capacitance_f": cfg.supercapacitor.longterm_capacitance_f,
+                "leakage_resistance_ohm": cfg.supercapacitor.leakage_resistance_ohm or 0.0,
+                "initial_voltage_v": cfg.initial_storage_voltage_v,
+                "load_sleep_ohm": cfg.load_profile.sleep_ohm,
+                "load_awake_ohm": cfg.load_profile.awake_ohm,
+                "load_tuning_ohm": cfg.load_profile.tuning_ohm,
+            },
+        ),
+    )
+    connections = (
+        ConnectionSpec(
+            "generator",
+            "multiplier",
+            voltage=("Vm", "Vm"),
+            current=("Im", "Im"),
+            net_prefix="generator_output",
+        ),
+        ConnectionSpec(
+            "multiplier",
+            "storage",
+            voltage=("Vc", "Vc"),
+            current=("Ic", "Ic"),
+            net_prefix="storage_port",
+        ),
+    )
+    probes = (
+        ProbeSpec("generator_power", "power", "generator", ("Vm", "Im")),
+        ProbeSpec("storage_voltage", "terminal", "storage", ("Vc",)),
+        ProbeSpec("storage_current", "terminal", "storage", ("Ic",)),
+        ProbeSpec("resonant_frequency", "attr", "generator", ("resonant_frequency_hz",)),
+        ProbeSpec("ambient_frequency", "source_frequency"),
+        ProbeSpec("load_resistance", "attr", "storage", ("load_resistance",)),
+    )
+    interface_probes = (
+        InterfaceProbeSpec("storage_voltage", "state", "storage", "Vi"),
+        InterfaceProbeSpec("ambient_frequency", "source_frequency"),
+        InterfaceProbeSpec(
+            "resonant_frequency", "attr", "generator", "resonant_frequency_hz"
+        ),
+    )
+    interface_controls = (
+        InterfaceControlSpec("load_resistance", "storage", "load_resistance"),
+        InterfaceControlSpec("tuning_force", "generator", "tuning_force"),
+    )
+    controller = None
+    if with_controller:
+        controller = ControllerSpec(
+            "tuning_controller",
+            "mcu",
+            {
+                "watchdog_period_s": cfg.controller.watchdog_period_s,
+                "wake_voltage_v": cfg.controller.wake_voltage_v,
+                "abort_voltage_v": cfg.controller.abort_voltage_v,
+                "frequency_tolerance_hz": cfg.controller.frequency_tolerance_hz,
+                "measurement_duration_s": cfg.controller.measurement_duration_s,
+                "tuning_poll_interval_s": cfg.controller.tuning_poll_interval_s,
+                "untuned_frequency_hz": gen.untuned_frequency_hz,
+                "buckling_load_n": cfg.tuning.buckling_load_n,
+                "force_constant": cfg.tuning.force_constant,
+                "force_exponent": cfg.tuning.force_exponent,
+                "min_gap_m": cfg.tuning.min_gap_m,
+                "max_gap_m": cfg.tuning.max_gap_m,
+                "actuator_speed_m_per_s": cfg.tuning.actuator_speed_m_per_s,
+                "actuator_power_w": cfg.tuning.actuator_power_w,
+                "initial_gap_m": initial_gap,
+                "load_sleep_ohm": cfg.load_profile.sleep_ohm,
+                "load_awake_ohm": cfg.load_profile.awake_ohm,
+                "load_tuning_ohm": cfg.load_profile.tuning_ohm,
+            },
+        )
+    return SystemSpec(
+        name="paper_harvester",
+        description=(
+            "DATE 2011 case study: tunable electromagnetic microgenerator, "
+            "Dickson voltage multiplier, supercapacitor + equivalent load"
+        ),
+        blocks=blocks,
+        connections=connections,
+        probes=probes,
+        interface_probes=interface_probes,
+        interface_controls=interface_controls,
+        controller=controller,
+        excitation=ExcitationSpec(
+            frequency_hz=cfg.excitation.frequency_hz,
+            amplitude_ms2=cfg.excitation.amplitude_ms2,
+        ),
+        metadata={"paper_reference": "Fig. 1 / Fig. 3"},
+    )
 
 
 class TunableEnergyHarvester:
@@ -105,75 +272,40 @@ class TunableEnergyHarvester:
             cfg.excitation.frequency_hz, cfg.excitation.amplitude_ms2
         )
 
-        # --- analogue blocks ------------------------------------------- #
-        self.generator = ElectromagneticMicrogenerator(
-            cfg.generator, self.source.acceleration, name="generator"
-        )
-        self.multiplier = DicksonMultiplier(
-            n_stages=cfg.multiplier_stages,
-            stage_capacitance_f=cfg.multiplier_capacitance_f,
-            output_capacitance_f=cfg.multiplier_output_capacitance_f,
-            input_capacitance_f=cfg.multiplier_input_capacitance_f,
-            diode_params=cfg.diode,
-            name="multiplier",
-        )
-        self.storage = Supercapacitor(
-            params=cfg.supercapacitor,
-            load_profile=cfg.load_profile,
-            initial_voltage_v=cfg.initial_storage_voltage_v,
-            name="storage",
-        )
-
-        # --- tuning mechanism ------------------------------------------ #
-        self.tuning_model = MagneticTuningModel(
-            untuned_frequency_hz=cfg.generator.untuned_frequency_hz,
-            buckling_load_n=cfg.tuning.buckling_load_n,
-            force_constant=cfg.tuning.force_constant,
-            exponent=cfg.tuning.force_exponent,
-            min_gap_m=cfg.tuning.min_gap_m,
-            max_gap_m=cfg.tuning.max_gap_m,
-        )
+        # --- tuning mechanism (shared with the controller factory) ----- #
+        self.tuning_model = _tuning_model_from_config(cfg)
         self.actuator = LinearActuator(
             speed_m_per_s=cfg.tuning.actuator_speed_m_per_s,
             min_position_m=cfg.tuning.min_gap_m,
             max_position_m=cfg.tuning.max_gap_m,
             supply_power_w=cfg.tuning.actuator_power_w,
         )
+
+        # --- declarative build ----------------------------------------- #
+        self.spec = paper_spec(cfg, with_controller=with_controller)
+        context = BuildContext(
+            extras={
+                "tuning_model": self.tuning_model,
+                "actuator": self.actuator,
+                "load_profile": cfg.load_profile,
+            }
+        )
+        built = SystemBuilder(self.spec).build(
+            vibration_source=self.source,
+            assembly_structure=assembly_structure,
+            context=context,
+        )
+        self._built = built
+        self.generator = built.block("generator")
+        self.multiplier = built.block("multiplier")
+        self.storage = built.block("storage")
+        self.netlist = built.netlist
+        self.assembler = built.assembler
+        self.with_controller = with_controller
+        self.controller: Optional[TuningController] = built.controller
+
         if cfg.initial_tuned_frequency_hz is not None:
             self._apply_initial_tuning(cfg.initial_tuned_frequency_hz)
-
-        # --- digital side ---------------------------------------------- #
-        self.with_controller = with_controller
-        self.controller: Optional[TuningController] = None
-        if with_controller:
-            self.controller = TuningController(
-                tuning_model=self.tuning_model,
-                actuator=self.actuator,
-                settings=cfg.controller,
-                load_profile=cfg.load_profile,
-                name="mcu",
-            )
-
-        # --- netlist and global assembly -------------------------------- #
-        self.netlist = Netlist()
-        self.netlist.add_block(self.generator)
-        self.netlist.add_block(self.multiplier)
-        self.netlist.add_block(self.storage)
-        self.netlist.connect_port(
-            self.generator,
-            self.multiplier,
-            voltage=("Vm", "Vm"),
-            current=("Im", "Im"),
-            net_prefix="generator_output",
-        )
-        self.netlist.connect_port(
-            self.multiplier,
-            self.storage,
-            voltage=("Vc", "Vc"),
-            current=("Ic", "Ic"),
-            net_prefix="storage_port",
-        )
-        self.assembler = SystemAssembler(self.netlist, structure=assembly_structure)
 
     # ------------------------------------------------------------------ #
     # construction helpers
@@ -258,55 +390,19 @@ class TunableEnergyHarvester:
     # probe / control wiring shared by all solvers
     # ------------------------------------------------------------------ #
     def _wire(self, solver) -> None:
-        """Attach recording probes and the digital-side interface."""
-        assembler = self.assembler
-        idx_vm = assembler.net_index("generator", "Vm")
-        idx_im = assembler.net_index("generator", "Im")
-        idx_vc = assembler.net_index("storage", "Vc")
-        idx_ic = assembler.net_index("storage", "Ic")
-        storage_slice = assembler.state_slice("storage")
+        """Attach recording probes and the digital-side interface.
 
-        solver.add_probe(
-            "generator_power",
-            lambda t, x, y: float(y[idx_vm] * y[idx_im]),
-        )
-        solver.add_probe("storage_voltage", lambda t, x, y: float(y[idx_vc]))
-        solver.add_probe("storage_current", lambda t, x, y: float(y[idx_ic]))
+        The spec-declared probes cover the standard traces; this adds the
+        two object-bound probes (stored energy, actuator gap) that need
+        the harvester's own component handles.
+        """
+        self._built._wire(solver)
+        storage_slice = self.assembler.state_slice("storage")
+
         solver.add_probe(
             "stored_energy",
             lambda t, x, y: self.storage.stored_energy_j(x[storage_slice]),
         )
         solver.add_probe(
-            "resonant_frequency",
-            lambda t, x, y: self.generator.resonant_frequency_hz,
-        )
-        solver.add_probe(
-            "ambient_frequency", lambda t, x, y: float(self.source.frequency(t))
-        )
-        solver.add_probe(
-            "load_resistance", lambda t, x, y: self.storage.load_resistance
-        )
-        solver.add_probe(
             "actuator_gap", lambda t, x, y: float(self.actuator.position_m)
-        )
-
-        # digital-side probes and controls (Fig. 7 interface)
-        interface = solver.interface
-        interface.register_probe(
-            "storage_voltage", lambda: solver.state_value("storage", "Vi")
-        )
-        interface.register_probe(
-            "ambient_frequency",
-            lambda: float(self.source.frequency(solver.current_time)),
-        )
-        interface.register_probe(
-            "resonant_frequency", lambda: self.generator.resonant_frequency_hz
-        )
-        interface.register_control(
-            "load_resistance",
-            lambda value: self.storage.apply_control("load_resistance", value),
-        )
-        interface.register_control(
-            "tuning_force",
-            lambda value: self.generator.apply_control("tuning_force", value),
         )

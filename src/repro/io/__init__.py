@@ -1,5 +1,6 @@
-"""Trace export/import, sweep checkpoints and report formatting."""
+"""Trace export/import, spec files, sweep checkpoints, report formatting."""
 
+from .specio import load_spec, save_spec
 from .csvio import (
     append_checkpoint_row,
     export_result,
@@ -13,10 +14,13 @@ from .report import (
     format_key_values,
     format_markdown_table,
     format_sweep_progress,
+    format_sweep_value,
     format_table,
 )
 
 __all__ = [
+    "load_spec",
+    "save_spec",
     "append_checkpoint_row",
     "export_result",
     "export_traces",
@@ -27,5 +31,6 @@ __all__ = [
     "format_key_values",
     "format_markdown_table",
     "format_sweep_progress",
+    "format_sweep_value",
     "format_table",
 ]

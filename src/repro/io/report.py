@@ -56,9 +56,27 @@ def format_sweep_progress(
     if best_score is not None:
         line += f"  best {best_score:.6g}"
         if best_parameters:
-            params = ", ".join(f"{k}={v:g}" for k, v in best_parameters.items())
+            params = ", ".join(
+                f"{k}={format_sweep_value(v)}" for k, v in best_parameters.items()
+            )
             line += f" <- {params}"
     return line
+
+
+def format_sweep_value(value: object) -> str:
+    """Human-readable form of one sweep-axis value.
+
+    Axis values are usually floats, but topology axes carry
+    :class:`~repro.core.spec.BlockSpec` objects — shown by their registry
+    key — and custom sweeps may use anything else (``str`` fallback).
+    """
+    key = getattr(value, "key", None)
+    if isinstance(key, str):  # BlockSpec-like: the registry key names it
+        return key
+    try:
+        return format(value, "g")
+    except (TypeError, ValueError):
+        return str(value)
 
 
 def _check_rows(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> None:

@@ -1,0 +1,76 @@
+"""File I/O for declarative system specs (JSON read/write, TOML read).
+
+A :class:`~repro.core.spec.SystemSpec` serialises losslessly through
+:meth:`~repro.core.spec.SystemSpec.to_dict`; this module maps that onto
+files so topologies can live next to experiment configurations instead of
+in Python code:
+
+* ``save_spec(spec, "piezo.json")`` / ``load_spec("piezo.json")`` —
+  lossless JSON round-trip;
+* ``load_spec("piezo.toml")`` — TOML input via the standard-library
+  ``tomllib`` (Python >= 3.11).  TOML *writing* has no standard-library
+  support, so ``save_spec`` only accepts JSON paths.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+from ..core.errors import ConfigurationError
+from ..core.spec import SystemSpec
+
+__all__ = ["load_spec", "save_spec"]
+
+
+def save_spec(spec: SystemSpec, path: str) -> str:
+    """Write ``spec`` to ``path`` as JSON; returns the path.
+
+    The extension must be ``.json`` (TOML writing is not supported by the
+    standard library; see the module docstring).
+    """
+    ext = os.path.splitext(path)[1].lower()
+    if ext != ".json":
+        raise ConfigurationError(
+            f"save_spec writes JSON only (got {path!r}); load_spec "
+            "additionally reads .toml"
+        )
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(spec.to_json())
+        handle.write("\n")
+    return path
+
+
+def load_spec(path: str, *, format: Optional[str] = None) -> SystemSpec:
+    """Read a :class:`SystemSpec` from a JSON or TOML file.
+
+    The format is inferred from the extension unless ``format`` (``"json"``
+    or ``"toml"``) is given.  Spec-level problems (unknown fields, missing
+    blocks) surface as :class:`~repro.core.errors.ConfigurationError` with
+    messages naming the offending entry.
+    """
+    fmt = (format or os.path.splitext(path)[1].lstrip(".")).lower()
+    if fmt == "json":
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    elif fmt == "toml":
+        try:
+            import tomllib
+        except ImportError:  # pragma: no cover - tomllib ships with >= 3.11
+            raise ConfigurationError(
+                "reading TOML specs needs the standard-library tomllib "
+                "(Python >= 3.11); convert the spec to JSON instead"
+            ) from None
+        with open(path, "rb") as handle:
+            data = tomllib.load(handle)
+    else:
+        raise ConfigurationError(
+            f"cannot infer spec format from {path!r}; pass format='json' "
+            "or format='toml'"
+        )
+    # TOML cannot express null: treat an absent controller as None and map
+    # explicit empty tables back to the dataclass defaults
+    if fmt == "toml" and data.get("controller") == {}:
+        data["controller"] = None
+    return SystemSpec.from_dict(data)
