@@ -18,9 +18,21 @@ workload.  This module turns the serial loop of
   grid *varies the topology itself* (spec-backed scenarios with
   :class:`~repro.core.spec.BlockSpec` axis values) keep one cached
   structure per distinct topology, keyed by the spec's structural hash;
+* offers a **batched lane-parallel backend** (``backend="batched"``):
+  controller-free candidates are grouped by topology hash and marched in
+  lock-step by the :class:`~repro.core.batch.BatchedSolver` — stacked
+  ``(B, n, n)`` linearise/eliminate/march, one NumPy sweep per step for a
+  whole lane block, composing multiplicatively with worker processes
+  (each worker marches one block).  Byte-identical per lane with
+  ``fixed_step``; the usual 10 % score tolerance in adaptive shared-step
+  mode.  Candidates with digital events and lanes retired by the
+  stability guard fall back to the scalar path;
 * **checkpoints** every finished candidate through
   :mod:`repro.io.csvio`, so an interrupted sweep resumes from the last
-  completed candidate (``checkpoint_path=``);
+  completed candidate (``checkpoint_path=``); the checkpoint header
+  carries a grid/config hash (parameter values, solver profile, backend,
+  base-scenario fingerprint) and resuming against a *changed* sweep
+  raises instead of stitching stale scores into the wrong candidates;
 * reports **progress and the best candidate so far** through a callback
   (see :func:`repro.io.report.format_sweep_progress` for a ready-made
   formatter);
@@ -42,6 +54,7 @@ worker processes run the exact same floating-point program.
 from __future__ import annotations
 
 import hashlib
+import math
 import os
 import pickle
 import warnings
@@ -49,17 +62,26 @@ from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wai
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Sequence
 
+from ..core.batch import BatchedSolver
 from ..core.elimination import AssemblyStructure
 from ..core.errors import ConfigurationError, StabilityError
 from ..harvester.scenarios import (
     Scenario,
+    attach_run_metadata,
     prepare_assembly,
     run_proposed,
     scenario_solver_settings,
 )
-from ..io.csvio import append_checkpoint_row, read_checkpoint, write_checkpoint_header
+from ..io.csvio import (
+    append_checkpoint_row,
+    validate_checkpoint,
+    write_checkpoint_header,
+)
 
 __all__ = ["SweepEngine", "EngineRunInfo"]
+
+#: execution backends of the sweep engine
+_BACKENDS = ("process", "batched")
 
 #: progress callback: ``progress(done, total, best_point_or_None)``
 ProgressFn = Callable[[int, int, Optional["SweepPoint"]], None]
@@ -78,6 +100,15 @@ class EngineRunInfo:
     n_exact_reruns: int
     parallel: bool
     relinearise_interval: Optional[int]
+    backend: str = "process"
+    #: lane blocks *planned* for batched marching (before runtime fallbacks)
+    n_lane_blocks: int = 0
+    #: candidates that never entered a lane block (digital events, singletons)
+    n_batch_fallbacks: int = 0
+    #: candidates whose score actually came out of a batched march this run
+    #: (runtime truth: heterogeneous-settings blocks that degraded to the
+    #: scalar path and retired lanes are excluded)
+    n_batched_candidates: int = 0
 
 
 @dataclass(frozen=True)
@@ -102,6 +133,9 @@ class _Outcome:
     score: float
     cpu_time_s: float
     exact_rerun: bool
+    #: whether the score came out of a batched lock-step march (as opposed
+    #: to the scalar path, a runtime fallback or a checkpoint resume)
+    batched: bool = False
 
 
 # per-process cache of structural assembly setups, keyed by a cheap
@@ -133,15 +167,99 @@ def _topology_key(scenario) -> tuple:
     )
 
 
+def _scenario_is_batchable(scenario) -> bool:
+    """Whether a scenario can ride a batched lane (no digital events).
+
+    A digital activation changes one lane's analogue model mid-march,
+    which breaks the lock-step premise, so candidates with a controller
+    always take the scalar path.  Unknown scenario shapes conservatively
+    report ``False``.
+    """
+    spec = getattr(scenario, "spec", None)
+    if spec is not None and hasattr(spec, "controller"):
+        return spec.controller is None
+    if hasattr(scenario, "with_controller"):
+        return not scenario.with_controller
+    return False
+
+
+def _lane_structure(task: _Task) -> Optional[AssemblyStructure]:
+    """Per-process cached assembly structure for a task's topology."""
+    if not task.reuse_assembly:
+        return None
+    key = _topology_key(task.scenario)
+    structure = _worker_structures.get(key)
+    if structure is None:
+        structure = prepare_assembly(task.scenario)
+        _worker_structures[key] = structure
+    return structure
+
+
+def _evaluate_lane_block(tasks: Sequence[_Task]) -> List[_Outcome]:
+    """Evaluate one lane block of same-topology candidates in lock-step.
+
+    Runs in a worker process or inline.  Single-task blocks take the
+    scalar path directly; heterogeneous blocks the batched solver refuses
+    (mixed ``fixed_step``, mixed hold intervals) degrade to per-candidate
+    scalar evaluation; lanes the batched march retires (divergence,
+    singular elimination) are re-run individually on the exact scalar
+    path, mirroring the engine's existing stability fallback.
+    """
+    if len(tasks) == 1:
+        return [_evaluate_task(tasks[0])]
+    structure = _lane_structure(tasks[0])
+    harvesters = []
+    try:
+        settings_list = []
+        for task in tasks:
+            harvesters.append(
+                task.scenario.build_harvester(assembly_structure=structure)
+            )
+            settings = task.settings
+            if settings is None:
+                settings = scenario_solver_settings(task.scenario)
+            if task.relinearise_interval is not None:
+                settings = replace(
+                    settings, relinearise_interval=int(task.relinearise_interval)
+                )
+            settings_list.append(settings)
+        solver = BatchedSolver(
+            [harvester.assembler for harvester in harvesters],
+            integrator=tasks[0].integrator,
+            settings=settings_list,
+        )
+        for i, harvester in enumerate(harvesters):
+            harvester._wire(solver.lane_wiring(i))
+        batch = solver.run([task.scenario.duration_s for task in tasks])
+    except ConfigurationError:
+        # the block cannot march in lock-step (heterogeneous schedule
+        # settings, per-lane fixed steps ...): evaluate candidates serially
+        return [_evaluate_task(task) for task in tasks]
+
+    outcomes: List[_Outcome] = []
+    for i, task in enumerate(tasks):
+        result = batch.results[i]
+        if result is None:
+            # retired lane: re-run this candidate on the exact scalar path
+            exact = _evaluate_task(replace(task, relinearise_interval=None))
+            outcomes.append(replace(exact, exact_rerun=True))
+            continue
+        result = attach_run_metadata(result, task.scenario, harvesters[i])
+        outcomes.append(
+            _Outcome(
+                index=task.index,
+                score=float(task.metric(result)),
+                cpu_time_s=float(result.stats.cpu_time_s),
+                exact_rerun=False,
+                batched=True,
+            )
+        )
+    return outcomes
+
+
 def _evaluate_task(task: _Task) -> _Outcome:
     """Evaluate one candidate (runs in a worker process or inline)."""
-    structure: Optional[AssemblyStructure] = None
-    if task.reuse_assembly:
-        key = _topology_key(task.scenario)
-        structure = _worker_structures.get(key)
-        if structure is None:
-            structure = prepare_assembly(task.scenario)
-            _worker_structures[key] = structure
+    structure = _lane_structure(task)
 
     settings = task.settings
     if settings is None:
@@ -207,6 +325,22 @@ class SweepEngine:
     reuse_assembly:
         Reuse the structural assembly setup across same-topology
         candidates (on by default; results are identical either way).
+    backend:
+        ``"process"`` (default) evaluates one candidate per task exactly
+        as before.  ``"batched"`` groups controller-free candidates by
+        topology hash and marches each group in lock-step through the
+        lane-parallel :class:`~repro.core.batch.BatchedSolver` — stacked
+        ``(B, n, n)`` linearise/eliminate/march, one NumPy call per step
+        for the whole group.  Candidates with digital events, singleton
+        groups and lanes retired by the stability guard transparently
+        fall back to the scalar path.  With ``fixed_step`` settings the
+        batched waveforms are byte-identical to scalar runs; in adaptive
+        shared-step mode scores carry the same documented 10 % relative
+        tolerance as the amortised-relinearisation profile.  Composes
+        with ``n_workers``: each worker process marches one lane block.
+    lane_width:
+        Maximum lanes per batched block.  Default: one block per
+        topology (serial) or one block per worker per topology.
     """
 
     def __init__(
@@ -217,6 +351,8 @@ class SweepEngine:
         progress: Optional[ProgressFn] = None,
         relinearise_interval: Optional[int] = None,
         reuse_assembly: bool = True,
+        backend: str = "process",
+        lane_width: Optional[int] = None,
     ) -> None:
         if n_workers is None:
             n_workers = os.cpu_count() or 1
@@ -224,11 +360,19 @@ class SweepEngine:
             raise ConfigurationError("n_workers must be at least 1")
         if relinearise_interval is not None and relinearise_interval < 1:
             raise ConfigurationError("relinearise_interval must be at least 1")
+        if backend not in _BACKENDS:
+            raise ConfigurationError(
+                f"unknown backend {backend!r}; choose from {_BACKENDS}"
+            )
+        if lane_width is not None and lane_width < 1:
+            raise ConfigurationError("lane_width must be at least 1")
         self.n_workers = int(n_workers)
         self.checkpoint_path = checkpoint_path
         self.progress = progress
         self.relinearise_interval = relinearise_interval
         self.reuse_assembly = reuse_assembly
+        self.backend = backend
+        self.lane_width = lane_width
 
     # ------------------------------------------------------------------ #
     # public API
@@ -249,7 +393,16 @@ class SweepEngine:
         n_resumed = self._load_checkpoint(sweep, tasks, outcomes)
         pending = [task for task in tasks if task.index not in outcomes]
 
-        parallel = self.n_workers > 1 and len(pending) > 1
+        # one work unit is a lane block: several same-topology candidates
+        # marched in lock-step by the batched solver, or a single candidate
+        # evaluated on the scalar path (always the case for the process
+        # backend and for candidates with digital events)
+        if self.backend == "batched":
+            blocks = self._plan_lane_blocks(pending)
+        else:
+            blocks = [[task] for task in pending]
+
+        parallel = self.n_workers > 1 and len(blocks) > 1
         if parallel and not self._parallelisable(pending):
             warnings.warn(
                 "sweep uses a non-picklable metric/scenario; "
@@ -288,10 +441,11 @@ class SweepEngine:
             emit_progress()
 
         if parallel:
-            self._run_parallel(pending, record)
+            self._run_parallel(blocks, record)
         else:
-            for task in pending:
-                record(_evaluate_task(task))
+            for block in blocks:
+                for outcome in _evaluate_lane_block(block):
+                    record(outcome)
 
         result = SweepResult(metric_name=sweep.metric_name)
         for task in tasks:
@@ -315,6 +469,16 @@ class SweepEngine:
             n_exact_reruns=sum(1 for o in outcomes.values() if o.exact_rerun),
             parallel=parallel,
             relinearise_interval=self.relinearise_interval,
+            backend=self.backend,
+            n_lane_blocks=sum(1 for block in blocks if len(block) > 1),
+            n_batch_fallbacks=(
+                sum(1 for block in blocks if len(block) == 1)
+                if self.backend == "batched"
+                else 0
+            ),
+            n_batched_candidates=sum(
+                1 for o in outcomes.values() if o.batched
+            ),
         )
         return result
 
@@ -341,10 +505,51 @@ class SweepEngine:
             raise ConfigurationError("the sweep produced no candidates")
         return tasks
 
+    def _plan_lane_blocks(self, pending: Sequence[_Task]) -> List[List[_Task]]:
+        """Partition pending candidates into lane blocks for the batched backend.
+
+        Candidates are grouped by topology fingerprint (lanes must share an
+        assembly structure); candidates with digital events become
+        single-task blocks (scalar fallback).  ``lane_width`` caps the
+        lanes per block; by default each worker gets one block per
+        topology, so batching composes with process parallelism.
+        """
+        groups: Dict[tuple, List[_Task]] = {}
+        scalar: List[_Task] = []
+        for task in pending:
+            if _scenario_is_batchable(task.scenario):
+                groups.setdefault(_topology_key(task.scenario), []).append(task)
+            else:
+                scalar.append(task)
+        blocks: List[List[_Task]] = []
+        for group in groups.values():
+            width = self.lane_width
+            if width is None:
+                width = (
+                    math.ceil(len(group) / self.n_workers)
+                    if self.n_workers > 1
+                    else len(group)
+                )
+            width = max(1, width)
+            for start in range(0, len(group), width):
+                blocks.append(group[start : start + width])
+        blocks.extend([task] for task in scalar)
+        # deterministic dispatch order regardless of grouping
+        blocks.sort(key=lambda block: block[0].index)
+        return blocks
+
     def _checkpoint_metadata(self, sweep) -> Dict[str, str]:
-        # the grid hash covers the parameter *values* (not just names) and
-        # the solver profile, so a checkpoint cannot silently map stale
-        # scores onto a reshaped grid or a different-accuracy profile
+        # the grid/config hash covers the parameter *values* (not just
+        # names), the solver profile, the execution backend and the base
+        # scenario's identity, so a checkpoint cannot silently map stale
+        # scores onto a reshaped grid, a different-accuracy profile, a
+        # different backend or a different base configuration
+        scenario = sweep.scenario
+        scenario_fingerprint = (
+            getattr(scenario, "name", ""),
+            getattr(scenario, "duration_s", None),
+            _topology_key(scenario),
+        )
         digest = hashlib.sha256(
             repr(
                 (
@@ -354,12 +559,15 @@ class SweepEngine:
                         for name, values in sweep.parameters.items()
                     ),
                     self.relinearise_interval,
+                    self.backend,
+                    scenario_fingerprint,
                 )
             ).encode()
         ).hexdigest()[:16]
         return {
             "metric": sweep.metric_name,
             "parameters": " ".join(sorted(sweep.parameters)),
+            "backend": self.backend,
             "grid": digest,
         }
 
@@ -379,17 +587,7 @@ class SweepEngine:
         if not os.path.exists(path):
             write_checkpoint_header(path, _CHECKPOINT_FIELDS, expected)
             return 0
-        metadata, fieldnames, rows = read_checkpoint(path)
-        if any(metadata.get(key) != expected[key] for key in expected):
-            raise ConfigurationError(
-                f"checkpoint {path} belongs to a different sweep "
-                f"(found {metadata}, expected {expected}); delete it or "
-                "point the engine at a fresh path"
-            )
-        if tuple(fieldnames) != _CHECKPOINT_FIELDS:
-            raise ConfigurationError(
-                f"checkpoint {path} has unexpected columns {fieldnames}"
-            )
+        rows = validate_checkpoint(path, expected, _CHECKPOINT_FIELDS)
         n_resumed = 0
         for row in rows:
             index = int(row[0])
@@ -412,24 +610,28 @@ class SweepEngine:
         return True
 
     def _run_parallel(
-        self, pending: Sequence[_Task], record: Callable[[_Outcome], None]
+        self, blocks: Sequence[Sequence[_Task]], record: Callable[[_Outcome], None]
     ) -> None:
         import multiprocessing as mp
 
         # fork (where available) shares the parent's loaded modules and
         # caches — worker start-up is milliseconds instead of a fresh
-        # interpreter + numpy import per worker
+        # interpreter + numpy import per worker.  Each worker evaluates one
+        # lane block at a time: a single scalar candidate (process backend)
+        # or a whole batched lock-step march (batched backend).
         context = None
         if "fork" in mp.get_all_start_methods():
             context = mp.get_context("fork")
         with ProcessPoolExecutor(
-            max_workers=min(self.n_workers, len(pending)), mp_context=context
+            max_workers=min(self.n_workers, len(blocks)), mp_context=context
         ) as pool:
-            futures: Dict[Future, _Task] = {
-                pool.submit(_evaluate_task, task): task for task in pending
+            futures: Dict[Future, Sequence[_Task]] = {
+                pool.submit(_evaluate_lane_block, list(block)): block
+                for block in blocks
             }
             not_done = set(futures)
             while not_done:
                 done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
                 for future in done:
-                    record(future.result())
+                    for outcome in future.result():
+                        record(outcome)

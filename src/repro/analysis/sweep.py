@@ -202,6 +202,8 @@ class ParameterSweep:
         checkpoint_path=None,
         progress=None,
         relinearise_interval=None,
+        backend: str = "process",
+        lane_width=None,
         **run_kwargs,
     ) -> SweepResult:
         """Simulate every candidate with the fast solver and rank them.
@@ -209,6 +211,10 @@ class ParameterSweep:
         By default the candidates are evaluated serially, exactly as the
         historical loop did.  ``n_workers > 1`` evaluates them in parallel
         worker processes with identical scores and ordering;
+        ``backend="batched"`` marches same-topology controller-free
+        candidates in lock-step through stacked arrays
+        (:class:`~repro.core.batch.BatchedSolver`, ``lane_width`` lanes per
+        block);
         ``checkpoint_path``/``progress``/``relinearise_interval`` are
         forwarded to the :class:`~repro.analysis.engine.SweepEngine` (see
         the module docstring).  Remaining keyword arguments
@@ -222,6 +228,8 @@ class ParameterSweep:
             checkpoint_path=checkpoint_path,
             progress=progress,
             relinearise_interval=relinearise_interval,
+            backend=backend,
+            lane_width=lane_width,
         )
         return engine.run(self, **run_kwargs)
 

@@ -16,7 +16,12 @@ from .microgenerator import ElectromagneticMicrogenerator, MicrogeneratorParamet
 from .piezoelectric import PiezoelectricMicrogenerator, PiezoelectricParameters
 from .supercapacitor import Supercapacitor, SupercapacitorParameters
 from .tuning import MagneticTuningModel
-from .vibration import FrequencyStep, MultiToneVibrationSource, VibrationSource
+from .vibration import (
+    FrequencyStep,
+    MultiToneVibrationSource,
+    VibrationSource,
+    batch_acceleration,
+)
 from .voltage_multiplier import DicksonMultiplier
 
 __all__ = [
@@ -41,5 +46,6 @@ __all__ = [
     "FrequencyStep",
     "MultiToneVibrationSource",
     "VibrationSource",
+    "batch_acceleration",
     "DicksonMultiplier",
 ]

@@ -38,12 +38,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Sequence, Tuple
 
 import numpy as np
 
-from ..core.block import AnalogueBlock
+from ..core.block import AnalogueBlock, BatchedLinearisation
 from ..core.errors import ConfigurationError
+from .vibration import batch_acceleration
 
 __all__ = ["ElectrostaticParameters", "ElectrostaticMicrogenerator"]
 
@@ -163,3 +164,71 @@ class ElectrostaticMicrogenerator(AnalogueBlock):
     def initial_state(self) -> np.ndarray:
         # pre-charged plates at rest
         return np.array([0.0, 0.0, self.params.bias_charge_c])
+
+    # ------------------------------------------------------------------ #
+    # batched (lane-parallel) evaluation
+    # ------------------------------------------------------------------ #
+    def evaluate_batch(
+        self,
+        lanes: Sequence[AnalogueBlock],
+        t: float,
+        x: np.ndarray,
+        y: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorised model equations for ``B`` lanes of harvesters.
+
+        Mirrors :meth:`derivatives`/:meth:`algebraic_residual` element-wise
+        (same expression order, ``np.maximum`` for the travel stopper), so
+        the batched finite-difference linearisation built on top of it is
+        bit-identical to each lane's scalar central-difference Jacobians.
+        Only the base acceleration goes through the lanes' scalar sources.
+        """
+        mass = np.array([lane.params.proof_mass_kg for lane in lanes])
+        stiffness = np.array([lane.params.spring_stiffness for lane in lanes])
+        damping = np.array([lane.params.parasitic_damping for lane in lanes])
+        area = np.array([lane.params.plate_area_m2 for lane in lanes])
+        gap0 = np.array([lane.params.nominal_gap_m for lane in lanes])
+        r_series = np.array([lane.params.series_resistance_ohm for lane in lanes])
+        r_recharge = np.array([lane.params.recharge_resistance_ohm for lane in lanes])
+        v_bias = np.array([lane.params.bias_voltage_v for lane in lanes])
+        accel = batch_acceleration([lane._acceleration for lane in lanes], t)
+
+        z, v, q = x[:, 0], x[:, 1], x[:, 2]
+        vm, im = y[:, 0], y[:, 1]
+
+        gap = np.maximum(gap0 - z, 0.05 * gap0)
+        v_cap = q * gap / (_EPSILON_0 * area)
+
+        electrostatic_force = q * q / (2.0 * _EPSILON_0 * area)
+        acceleration = (
+            -stiffness * z - damping * v - electrostatic_force + mass * accel
+        ) / mass
+        dq = -im
+        recharge = r_recharge > 0.0
+        if np.any(recharge):
+            # np.where (not an unconditional add) so lanes without a
+            # replenishment path keep the exact scalar value of ``-Im``
+            term = (v_bias - v_cap) / np.where(recharge, r_recharge, 1.0)
+            dq = np.where(recharge, dq + term, dq)
+        dxdt = np.stack([v, acceleration, dq], axis=1)
+        res_y = (vm - v_cap + r_series * im)[:, None]
+        return dxdt, res_y
+
+    def linearise_batch(
+        self,
+        lanes: Sequence[AnalogueBlock],
+        t: float,
+        x: np.ndarray,
+        y: np.ndarray,
+    ) -> BatchedLinearisation:
+        """Batched finite-difference linearisation (no analytic Jacobians).
+
+        The terminal relation is genuinely nonlinear, so — exactly like the
+        scalar path — the block hands linearisation to the solver's
+        central-difference machinery; here the batched variant, which
+        perturbs each coordinate across all lanes at once through
+        :meth:`evaluate_batch`.
+        """
+        from ..core.linearise import linearise_lanes_numerically
+
+        return linearise_lanes_numerically(lanes, t, x, y)

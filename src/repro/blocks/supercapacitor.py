@@ -23,7 +23,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from ..core.block import AnalogueBlock, BlockLinearisation
+from ..core.block import AnalogueBlock, BatchedLinearisation, BlockLinearisation
 from ..core.errors import ConfigurationError
 from .load import LoadProfile, OperatingMode
 
@@ -188,6 +188,39 @@ class Supercapacitor(AnalogueBlock):
         jyy = np.array([[-(float(np.sum(g)) + self._shunt_conductance()), 1.0]])
         ey = np.zeros(1)
         return BlockLinearisation(jxx=jxx, jxy=jxy, ex=ex, jyx=jyx, jyy=jyy, ey=ey)
+
+    def linearise_batch(
+        self,
+        lanes,
+        t: float,
+        x: np.ndarray,
+        y: np.ndarray,
+    ) -> BatchedLinearisation:
+        """Vectorised Eq. (15) model for ``B`` lanes of supercapacitors.
+
+        The Zubieta model is linear; the stacked Jacobians are per-lane
+        parameter expressions (including each lane's present equivalent
+        load ``Req``, Eq. 16), element-wise identical to the scalar
+        :meth:`linearise`.
+        """
+        b = len(lanes)
+        g = np.stack([lane._branch_conductances() for lane in lanes])
+        c = np.stack([lane._branch_capacitances() for lane in lanes])
+        ratio = g / c
+        jxx = np.zeros((b, 3, 3))
+        jxx[:, np.arange(3), np.arange(3)] = -ratio
+        jxy = np.zeros((b, 3, 2))
+        jxy[:, :, 0] = ratio
+        jyx = g[:, None, :].copy()
+        jyy = np.zeros((b, 1, 2))
+        jyy[:, 0, 0] = -(
+            np.array([float(np.sum(lane_g)) for lane_g in g])
+            + np.array([lane._shunt_conductance() for lane in lanes])
+        )
+        jyy[:, 0, 1] = 1.0
+        return BatchedLinearisation(
+            jxx=jxx, jxy=jxy, ex=np.zeros((b, 3)), jyx=jyx, jyy=jyy, ey=np.zeros((b, 1))
+        )
 
     def initial_state(self) -> np.ndarray:
         return np.full(3, self.initial_voltage_v)

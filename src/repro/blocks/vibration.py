@@ -16,11 +16,36 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..core.errors import ConfigurationError
 
-__all__ = ["FrequencyStep", "VibrationSource", "MultiToneVibrationSource"]
+__all__ = [
+    "FrequencyStep",
+    "VibrationSource",
+    "MultiToneVibrationSource",
+    "batch_acceleration",
+]
+
+
+def batch_acceleration(
+    sources: Sequence[Callable[[float], float]], t: float
+) -> np.ndarray:
+    """Base acceleration of ``B`` lane excitations at one shared time point.
+
+    Used by the batched block linearisations: each lane of a batched sweep
+    carries its own excitation (its own frequency/amplitude/schedule), and
+    the lock-step march needs all of them at the shared time ``t``.
+    Deliberately a loop over the scalar sources rather than an
+    ``np.sin``-vectorised evaluation: the scalar sources go through libm's
+    ``sin``, and NumPy's SIMD ``sin`` is not guaranteed bit-identical to
+    it, which would break the batched solver's fixed-step byte-identity
+    contract.  At one call per block per accepted step the loop is far off
+    the hot path.
+    """
+    return np.array([float(source(t)) for source in sources])
 
 
 @dataclass(frozen=True)

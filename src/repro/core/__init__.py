@@ -13,7 +13,14 @@ Public surface:
   result containers
 """
 
-from .block import AnalogueBlock, BlockLinearisation, LinearBlock, Terminal
+from .batch import BatchedSolver, BatchResult
+from .block import (
+    AnalogueBlock,
+    BatchedLinearisation,
+    BlockLinearisation,
+    LinearBlock,
+    Terminal,
+)
 from .builder import (
     BuildContext,
     BuiltSystem,
@@ -23,6 +30,9 @@ from .builder import (
 from .digital import AnalogueInterface, DigitalEventKernel, DigitalProcess
 from .elimination import (
     AssemblyStructure,
+    BatchedAssembler,
+    BatchedGlobalLinearisation,
+    BatchedReducedSystem,
     GlobalLinearisation,
     ReducedSystem,
     SystemAssembler,
@@ -32,6 +42,7 @@ from .errors import (
     ConnectionError_,
     ConvergenceError,
     SimulationError,
+    SingularLaneError,
     SingularSystemError,
     StabilityError,
     StepSizeError,
@@ -48,7 +59,13 @@ from .integrators import (
     make_integrator,
 )
 from .lle import LLEMonitor, LLESample
-from .linearise import finite_difference_jacobian, linearise_block, linearise_block_numerically
+from .linearise import (
+    finite_difference_jacobian,
+    linearise_block,
+    linearise_block_lanes,
+    linearise_block_numerically,
+    linearise_lanes_numerically,
+)
 from .netlist import Net, Netlist
 from .pwl import CompanionTable, PWLTable, build_companion_table, build_table
 from .registry import BLOCK_REGISTRY, BlockRegistry, ParameterField, RegistryEntry, register_block
@@ -75,12 +92,13 @@ from .stability import (
     spectral_step_limit,
     stiffness_ratio,
 )
-from .stepper import StepControlSettings, StepSizeController
+from .stepper import BatchedStepController, StepControlSettings, StepSizeController
 
 __all__ = [
     # block framework
     "AnalogueBlock",
     "BlockLinearisation",
+    "BatchedLinearisation",
     "LinearBlock",
     "Terminal",
     "Net",
@@ -89,6 +107,13 @@ __all__ = [
     "SystemAssembler",
     "GlobalLinearisation",
     "ReducedSystem",
+    # batched (lane-parallel) execution
+    "BatchedAssembler",
+    "BatchedGlobalLinearisation",
+    "BatchedReducedSystem",
+    "BatchedSolver",
+    "BatchResult",
+    "BatchedStepController",
     # declarative system description
     "BLOCK_REGISTRY",
     "BlockRegistry",
@@ -137,6 +162,8 @@ __all__ = [
     "finite_difference_jacobian",
     "linearise_block",
     "linearise_block_numerically",
+    "linearise_block_lanes",
+    "linearise_lanes_numerically",
     "SimulationResult",
     "SolverStats",
     "Trace",
@@ -154,6 +181,7 @@ __all__ = [
     "ConfigurationError",
     "ConnectionError_",
     "SingularSystemError",
+    "SingularLaneError",
     "StabilityError",
     "ConvergenceError",
     "StepSizeError",

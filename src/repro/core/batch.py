@@ -1,0 +1,523 @@
+"""Lane-parallel batched execution of the linearise→eliminate→march loop.
+
+The paper's motivation is that the non-iterative solver makes *grids* of
+design-exploration simulations cheap.  The scalar solver spends most of a
+small system's step budget in Python/NumPy overhead on tiny matrices; this
+module marches ``B`` same-topology candidates ("lanes") in lock-step
+through stacked ``(B, n, n)`` arrays instead, so one linearisation sweep,
+one stacked ``np.linalg.solve`` and one stacked integrator update serve
+every lane — the classic vectorised-ensemble-ODE trick, composing
+multiplicatively with the sweep engine's process-level parallelism.
+
+Execution model
+---------------
+* Lanes share the topology (one :class:`~repro.core.elimination.
+  AssemblyStructure`) and the time axis; parameters, excitations and
+  initial states are per-lane.
+* **Shared step**: every explicit step advances all active lanes by the
+  minimum of the per-lane :class:`~repro.core.stepper.StepSizeController`
+  proposals (vectorised in :class:`~repro.core.stepper.
+  BatchedStepController`).  With ``fixed_step`` set there is nothing to
+  negotiate and each lane's waveforms are **byte-identical** to its serial
+  scalar run (see the equivalence contracts below).
+* **Lane retirement**: lanes that reach their end time are finalised and
+  retired; lanes that trip the divergence guard or a singular elimination
+  are retired with their error recorded so the caller can re-run them on
+  the exact scalar path (:mod:`repro.analysis.engine` does exactly that).
+* **Digital events are out of scope**: candidates with a digital kernel
+  fall back to the scalar solver — a digital activation changes one lane's
+  analogue model mid-march, which breaks the lock-step premise.
+
+Equivalence contracts
+---------------------
+1. With ``fixed_step`` set (and the default ``relinearise_state_rtol``
+   unset), every lane's recorded waveforms are byte-identical to the same
+   candidate simulated by :class:`~repro.core.solver.
+   LinearisedStateSpaceSolver`: all batched linear algebra runs through
+   stacked ``matmul``/``solve`` (the same BLAS/LAPACK kernels per lane as
+   the scalar path) and the ported block linearisations are element-wise
+   identical IEEE-754 arithmetic.
+2. In adaptive shared-step mode the step *sequence* differs from the
+   serial runs (shared minimum instead of per-lane steps), which is an
+   accuracy-neutral-or-better perturbation; sweep scores stay within the
+   engine's documented 10 % relative tolerance (asserted by
+   ``benchmarks/bench_sweep_scaling.py``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from .elimination import (
+    BatchedAssembler,
+    BatchedReducedSystem,
+    SystemAssembler,
+)
+from .errors import (
+    ConfigurationError,
+    SingularLaneError,
+    SingularSystemError,
+    StabilityError,
+)
+from .integrators import AdamsBashforth, ExplicitIntegrator
+from .results import SimulationResult, SolverStats, TraceRecorder
+from .solver import ProbeFn, SolverSettings
+from .stepper import BatchedStepController, relative_jacobian_drift
+
+__all__ = ["BatchedSolver", "BatchResult"]
+
+_END_EPS = 1e-15
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one batched run.
+
+    ``results[i]`` is lane *i*'s :class:`SimulationResult`, or ``None``
+    when the lane was retired on an error; ``failures[i]`` then holds the
+    exception (a :class:`StabilityError` or
+    :class:`~repro.core.errors.SingularSystemError`) so the caller can
+    re-run that candidate on the exact scalar path.
+    """
+
+    results: List[Optional[SimulationResult]]
+    failures: Dict[int, Exception] = field(default_factory=dict)
+
+    @property
+    def n_lanes(self) -> int:
+        """Total number of lanes the batch was launched with."""
+        return len(self.results)
+
+
+class _LaneWiring:
+    """Adapter exposing the solver surface probe wiring expects.
+
+    ``BuiltSystem._wire``/``TunableEnergyHarvester._wire`` talk to a
+    solver through ``add_probe`` and (optionally) ``interface``; this
+    routes ``add_probe`` to one lane of the batched solver and reports no
+    digital interface (batched lanes are controller-free by construction).
+    """
+
+    interface = None
+
+    def __init__(self, solver: "BatchedSolver", lane: int) -> None:
+        self._solver = solver
+        self._lane = lane
+
+    def add_probe(self, name: str, probe: ProbeFn) -> None:
+        self._solver.add_probe(self._lane, name, probe)
+
+
+class _Lane:
+    """Per-lane bookkeeping carried through the lock-step march."""
+
+    def __init__(self, index: int, settings: SolverSettings) -> None:
+        self.index = index
+        self.settings = settings
+        self.probes: Dict[str, ProbeFn] = {}
+        self.recorder = TraceRecorder(record_interval=settings.record_interval)
+        self.stats = SolverStats(solver_name="")
+        self.lle_max_change = 0.0
+        self.lle_flagged = 0
+        self.n_jacobian_reuses = 0
+
+
+class BatchedSolver:
+    """Marches ``B`` same-topology candidates as lanes of stacked arrays.
+
+    Parameters
+    ----------
+    assemblers:
+        One scalar :class:`~repro.core.elimination.SystemAssembler` per
+        lane, all sharing one topology (grouped by the caller, e.g. via
+        ``topology_hash()``).
+    integrator:
+        Shared explicit integrator (third-order Adams-Bashforth by
+        default, as in the scalar solver).
+    settings:
+        One :class:`~repro.core.solver.SolverSettings` per lane, or a
+        single instance shared by every lane.  Per-lane step control
+        (``h_max`` from each candidate's excitation frequency) is fine;
+        ``fixed_step`` and ``relinearise_interval`` must agree across
+        lanes because they define the shared schedule, and ``monitor_lle``
+        is not supported in batched mode (use the scalar solver for LLE
+        studies — Jacobian-drift monitoring itself stays active).
+    """
+
+    def __init__(
+        self,
+        assemblers: Sequence[SystemAssembler],
+        integrator: Optional[ExplicitIntegrator] = None,
+        settings: Union[SolverSettings, Sequence[SolverSettings], None] = None,
+    ) -> None:
+        self.batched_assembler = BatchedAssembler(assemblers)
+        b = self.batched_assembler.n_lanes
+        self.integrator = integrator or AdamsBashforth(order=3)
+
+        if settings is None:
+            settings = SolverSettings()
+        if isinstance(settings, SolverSettings):
+            settings_list = [settings] * b
+        else:
+            settings_list = list(settings)
+            if len(settings_list) != b:
+                raise ConfigurationError(
+                    f"{len(settings_list)} settings for {b} lanes"
+                )
+        fixed = {s.fixed_step for s in settings_list}
+        if len(fixed) != 1:
+            raise ConfigurationError(
+                "all lanes of a batched march must share one fixed_step value "
+                "(the lock-step schedule is common to the batch)"
+            )
+        self._fixed_step = fixed.pop()
+        intervals = {max(1, int(s.relinearise_interval)) for s in settings_list}
+        if len(intervals) != 1:
+            raise ConfigurationError(
+                "all lanes of a batched march must share relinearise_interval"
+            )
+        self._hold_limit = intervals.pop()
+        if any(s.monitor_lle for s in settings_list):
+            raise ConfigurationError(
+                "monitor_lle is not supported in batched mode; run the lane "
+                "on the scalar solver for direct LLE measurement"
+            )
+        self._settings_list = settings_list
+        self._lanes = [_Lane(i, s) for i, s in enumerate(settings_list)]
+
+    @property
+    def n_lanes(self) -> int:
+        """Number of lanes in the batch."""
+        return len(self._lanes)
+
+    # ------------------------------------------------------------------ #
+    # wiring
+    # ------------------------------------------------------------------ #
+    def add_probe(self, lane: int, name: str, probe: ProbeFn) -> None:
+        """Record ``probe(t, x_lane, y_lane)`` as a named trace of ``lane``."""
+        probes = self._lanes[lane].probes
+        if name in probes:
+            raise ConfigurationError(
+                f"duplicate probe name {name!r} on lane {lane}"
+            )
+        probes[name] = probe
+
+    def lane_wiring(self, lane: int) -> _LaneWiring:
+        """Solver-shaped adapter for wiring one lane's probes.
+
+        Pass to ``BuiltSystem._wire`` / ``TunableEnergyHarvester._wire``
+        in place of a scalar solver.
+        """
+        return _LaneWiring(self, lane)
+
+    # ------------------------------------------------------------------ #
+    # main loop
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        t_end: Union[float, Sequence[float]],
+        *,
+        t_start: float = 0.0,
+        x0: Optional[np.ndarray] = None,
+    ) -> BatchResult:
+        """Simulate all lanes from ``t_start`` and return per-lane results.
+
+        ``t_end`` is shared or per-lane; per-lane end times require
+        adaptive mode (a lane-specific final clamp would break the
+        fixed-step byte-identity of the longer lanes).
+        """
+        # `assembler` tracks the *active* lanes and is compacted as lanes
+        # retire; `self.batched_assembler` is never mutated, so the solver
+        # object stays reusable after a run
+        assembler = self.batched_assembler
+        b = assembler.n_lanes
+        n_states = assembler.n_states
+
+        t_end_arr = np.broadcast_to(
+            np.asarray(t_end, dtype=float), (b,)
+        ).copy()
+        if np.any(t_end_arr <= t_start):
+            raise ConfigurationError("t_end must be greater than t_start")
+        if self._fixed_step is not None and np.unique(t_end_arr).size != 1:
+            raise ConfigurationError(
+                "fixed-step batched marching requires a shared t_end "
+                "(per-lane end times would desynchronise the final clamp)"
+            )
+
+        t = float(t_start)
+        if x0 is None:
+            x = assembler.initial_state()
+        else:
+            x = np.array(x0, dtype=float, copy=True)
+        if x.shape != (b, n_states):
+            raise ConfigurationError(
+                f"x0 has shape {x.shape}, expected ({b}, {n_states})"
+            )
+        y = np.zeros((b, assembler.n_terminals))
+
+        controller: Optional[BatchedStepController] = None
+        if self._fixed_step is None:
+            controller = BatchedStepController(
+                [lane.settings.step_control for lane in self._lanes],
+                integrator=self.integrator,
+            )
+        integrator_state = self.integrator.new_state()
+
+        lanes = list(self._lanes)
+        for lane in lanes:
+            lane.stats = SolverStats(
+                solver_name=f"batched-state-space/{self.integrator.name}"
+            )
+            lane.recorder = TraceRecorder(
+                record_interval=lane.settings.record_interval
+            )
+            lane.lle_max_change = 0.0
+            lane.lle_flagged = 0
+            lane.n_jacobian_reuses = 0
+
+        results: List[Optional[SimulationResult]] = [None] * b
+        failures: Dict[int, Exception] = {}
+
+        structure = assembler.structure
+        rep = assembler.lane_assembler(0)
+        state_names = rep.state_names()
+        net_names = rep.net_names()
+
+        divergence_limit = np.array(
+            [lane.settings.divergence_limit for lane in lanes]
+        )
+        lle_tolerance = np.array([lane.settings.lle_tolerance for lane in lanes])
+        state_rtol = np.array(
+            [
+                np.inf
+                if lane.settings.relinearise_state_rtol is None
+                else lane.settings.relinearise_state_rtol
+                for lane in lanes
+            ]
+        )
+
+        wall_start = time.perf_counter()
+        reduced: Optional[BatchedReducedSystem] = None
+        previous_a: Optional[np.ndarray] = None  # Jacobian-drift monitoring
+        steps_since_assemble = 0
+        x_reference = x
+        held_h = None
+
+        def drop_lanes(keep: np.ndarray) -> None:
+            """Compact every stacked structure to the lanes in ``keep``."""
+            nonlocal x, y, reduced, lanes, t_end_arr, x_reference, assembler
+            nonlocal divergence_limit, lle_tolerance, state_rtol, previous_a
+            keep = np.asarray(keep, dtype=int)
+            if keep.size == 0:
+                lanes = []
+                return
+            x = x[keep]
+            y = y[keep]
+            t_end_arr = t_end_arr[keep]
+            x_reference = x_reference[keep]
+            divergence_limit = divergence_limit[keep]
+            lle_tolerance = lle_tolerance[keep]
+            state_rtol = state_rtol[keep]
+            if previous_a is not None:
+                previous_a = previous_a[keep]
+            if reduced is not None:
+                reduced = reduced.select(keep)
+            if controller is not None:
+                controller.select(keep)
+            # multi-step derivative history is stacked (B, n): drop lanes
+            integrator_state.history = type(integrator_state.history)(
+                (sample_t, sample_f[keep])
+                for sample_t, sample_f in integrator_state.history
+            )
+            assembler = assembler.select(keep)
+            lanes = [lanes[int(i)] for i in keep]
+
+        def record(mask: Optional[np.ndarray] = None, *, force: bool = False) -> None:
+            for i, lane in enumerate(lanes):
+                if mask is not None and not mask[i]:
+                    continue
+                if not force and not lane.recorder.should_record(t):
+                    continue
+                x_i = x[i]
+                y_i = y[i]
+                values: Dict[str, float] = {}
+                for name, value in zip(state_names, x_i):
+                    values[name] = float(value)
+                for name, value in zip(net_names, y_i):
+                    values[name] = float(value)
+                for name, probe in lane.probes.items():
+                    values[name] = float(probe(t, x_i, y_i))
+                lane.recorder.record(t, values, force=force)
+
+        def finalize(i: int) -> bool:
+            """Final consistent record + result for lane ``i`` (scalar path).
+
+            Returns ``False`` (without recording a result) when the final
+            consistency solve itself fails, so the caller retires the lane
+            with the error instead of crashing the batch.
+            """
+            nonlocal y
+            lane = lanes[i]
+            lane_assembler = assembler.lane_assembler(i)
+            try:
+                lin = lane_assembler.assemble(t, x[i], y[i])
+                lane_reduced = lane_assembler.eliminate(lin, x[i])
+            except SingularSystemError as exc:
+                failures[lane.index] = exc
+                return False
+            y[i] = lane_reduced.y_solution
+            record(mask=np.arange(len(lanes)) == i, force=True)
+            lane.stats.cpu_time_s = (time.perf_counter() - wall_start) / b
+            lane.stats.final_time = t
+            result = SimulationResult(traces=lane.recorder.traces, stats=lane.stats)
+            result.metadata["integrator"] = self.integrator.name
+            result.metadata["integrator_order"] = self.integrator.order
+            result.metadata["n_states"] = n_states
+            result.metadata["n_terminals"] = structure.n_terminals
+            result.metadata["lle_max_jacobian_change"] = lane.lle_max_change
+            result.metadata["lle_flagged_steps"] = lane.lle_flagged
+            result.metadata["relinearise_interval"] = self._hold_limit
+            result.metadata["n_jacobian_reuses"] = lane.n_jacobian_reuses
+            result.metadata["batched"] = True
+            result.metadata["batch_lanes"] = b
+            result.metadata["lane_index"] = lane.index
+            results[lane.index] = result
+            return True
+
+        def fail_lanes(indices: Sequence[int], errors: Sequence[Exception]) -> None:
+            for i, error in zip(indices, errors):
+                failures[lanes[i].index] = error
+            keep = np.array(
+                [i for i in range(len(lanes)) if i not in set(indices)], dtype=int
+            )
+            drop_lanes(keep)
+
+        def assemble_eliminate(*, initial: bool = False) -> bool:
+            """Fresh linearisation of all active lanes; handles singular lanes.
+
+            Returns ``False`` when the batch ran out of lanes.  The
+            ``initial`` consistency solve counts only as a linear solve,
+            exactly as the scalar solver's bookkeeping does.
+            """
+            nonlocal reduced, y, steps_since_assemble, x_reference, previous_a
+            while lanes:
+                lin = assembler.assemble(t, x, y)
+                try:
+                    reduced = assembler.eliminate(lin, x)
+                except SingularLaneError as exc:
+                    bad = list(exc.lane_indices)
+                    fail_lanes(
+                        bad,
+                        [
+                            SingularLaneError(
+                                str(exc), lane_indices=(lanes[i].index,)
+                            )
+                            for i in bad
+                        ],
+                    )
+                    continue
+                y = reduced.y_solution
+                # Jacobian-drift LLE monitoring (vectorised over lanes)
+                if previous_a is None:
+                    previous_a = np.array(reduced.a_reduced, copy=True)
+                else:
+                    change = relative_jacobian_drift(reduced.a_reduced, previous_a)
+                    for i, lane in enumerate(lanes):
+                        lane.lle_max_change = max(lane.lle_max_change, change[i])
+                        if change[i] > lle_tolerance[i]:
+                            lane.lle_flagged += 1
+                    previous_a = np.array(reduced.a_reduced, copy=True)
+                for lane in lanes:
+                    if not initial:
+                        lane.stats.n_jacobian_evaluations += 1
+                    lane.stats.n_linear_solves += 1
+                steps_since_assemble = 0
+                x_reference = x
+                return True
+            return False
+
+        # initial consistency solve (terminal variables meaningful from t0)
+        if not assemble_eliminate(initial=True):
+            return BatchResult(results=results, failures=failures)
+        # mirror the scalar loop: the initial solve counts as a linear
+        # solve but not yet as the first held linearisation
+        steps_since_assemble = self._hold_limit  # force refresh on first step
+        previous_a = None
+
+        while lanes:
+            # 1. finalise lanes that reached their end time
+            finished = t >= t_end_arr - _END_EPS
+            if np.any(finished):
+                for i in np.flatnonzero(finished):
+                    finalize(int(i))
+                keep = np.flatnonzero(~finished)
+                drop_lanes(keep)
+                if not lanes:
+                    break
+
+            # 2. linearise + eliminate, or reuse the held affine models
+            refresh = reduced is None or steps_since_assemble >= self._hold_limit
+            if not refresh and np.any(np.isfinite(state_rtol)):
+                drift = np.max(np.abs(x - x_reference), axis=1)
+                scale = np.max(np.abs(x_reference), axis=1)
+                refresh = bool(np.any(drift > state_rtol * (scale + 1e-300)))
+            if refresh:
+                if not assemble_eliminate():
+                    break
+            else:
+                y = reduced.terminal_values(x)
+                for lane in lanes:
+                    lane.n_jacobian_reuses += 1
+            steps_since_assemble += 1
+
+            # 3. record traces
+            record()
+
+            # 4. choose the shared step size
+            remaining = t_end_arr - t
+            if self._fixed_step is not None:
+                h = float(min(self._fixed_step, float(np.min(remaining))))
+            elif refresh:
+                proposals = controller.propose(
+                    reduced.a_reduced, t_remaining=remaining
+                )
+                h = float(np.min(proposals))
+                controller.commit(h)
+                held_h = h
+            else:
+                h = float(min(held_h, float(np.min(remaining))))
+
+            # 5. lock-step explicit march (Eq. 5, all lanes at once)
+            x = self.integrator.step_batch(
+                lambda _t, xs: reduced.derivative(xs), t, x, h, integrator_state
+            )
+            for lane in lanes:
+                lane.stats.n_function_evaluations += 1
+                lane.stats.register_step(h, accepted=True)
+            t += h
+
+            # 6. divergence guard — retire tripped lanes, keep marching
+            norms = np.sqrt(np.sum(x * x, axis=1))
+            bad = (
+                ~np.all(np.isfinite(x), axis=1)
+                | ~np.isfinite(norms)
+                | (norms > divergence_limit)
+            )
+            if np.any(bad):
+                indices = [int(i) for i in np.flatnonzero(bad)]
+                fail_lanes(
+                    indices,
+                    [
+                        StabilityError(
+                            f"solution diverged at t={t:.6g} (step {h:.3g}); "
+                            "lane retired for exact scalar re-run"
+                        )
+                        for _ in indices
+                    ],
+                )
+
+        return BatchResult(results=results, failures=failures)

@@ -33,7 +33,13 @@ import numpy as np
 
 from .errors import ConfigurationError
 
-__all__ = ["BlockLinearisation", "AnalogueBlock", "LinearBlock", "Terminal"]
+__all__ = [
+    "BlockLinearisation",
+    "BatchedLinearisation",
+    "AnalogueBlock",
+    "LinearBlock",
+    "Terminal",
+]
 
 
 @dataclass(frozen=True)
@@ -86,6 +92,78 @@ class BlockLinearisation:
             if actual != shape:
                 raise ConfigurationError(
                     f"linearisation field {attr!r} has shape {actual}, expected {shape}"
+                )
+
+
+@dataclass
+class BatchedLinearisation:
+    """Affine models of ``B`` lanes of sibling blocks, stacked lane-first.
+
+    One lane is one same-structure block instance (same class, same state
+    and terminal layout, possibly different parameter values) evaluated at
+    its own operating point.  The fields mirror
+    :class:`BlockLinearisation` with a leading lane axis: ``jxx`` has shape
+    ``(B, n_states, n_states)``, ``ex`` has shape ``(B, n_states)`` and so
+    on.  ``lane(i)`` recovers the i-th scalar linearisation as views, and
+    ``stack`` builds the batched object from per-lane scalar
+    linearisations (the loop-over-lanes fallback for unported blocks).
+    """
+
+    jxx: np.ndarray
+    jxy: np.ndarray
+    ex: np.ndarray
+    jyx: np.ndarray
+    jyy: np.ndarray
+    ey: np.ndarray
+
+    @property
+    def n_lanes(self) -> int:
+        """Number of stacked lanes ``B``."""
+        return self.jxx.shape[0]
+
+    @classmethod
+    def stack(cls, lins: Sequence[BlockLinearisation]) -> "BatchedLinearisation":
+        """Stack per-lane scalar linearisations into one batched object."""
+        if not lins:
+            raise ConfigurationError("cannot stack an empty lane list")
+        return cls(
+            jxx=np.stack([lin.jxx for lin in lins]),
+            jxy=np.stack([lin.jxy for lin in lins]),
+            ex=np.stack([lin.ex for lin in lins]),
+            jyx=np.stack([lin.jyx for lin in lins]),
+            jyy=np.stack([lin.jyy for lin in lins]),
+            ey=np.stack([lin.ey for lin in lins]),
+        )
+
+    def lane(self, i: int) -> BlockLinearisation:
+        """The i-th lane as a scalar :class:`BlockLinearisation` (views)."""
+        return BlockLinearisation(
+            jxx=self.jxx[i],
+            jxy=self.jxy[i],
+            ex=self.ex[i],
+            jyx=self.jyx[i],
+            jyy=self.jyy[i],
+            ey=self.ey[i],
+        )
+
+    def validate(
+        self, n_lanes: int, n_states: int, n_terminals: int, n_algebraic: int
+    ) -> None:
+        """Raise :class:`ConfigurationError` on any shape mismatch."""
+        expected = {
+            "jxx": (n_lanes, n_states, n_states),
+            "jxy": (n_lanes, n_states, n_terminals),
+            "ex": (n_lanes, n_states),
+            "jyx": (n_lanes, n_algebraic, n_states),
+            "jyy": (n_lanes, n_algebraic, n_terminals),
+            "ey": (n_lanes, n_algebraic),
+        }
+        for attr, shape in expected.items():
+            actual = getattr(self, attr).shape
+            if actual != shape:
+                raise ConfigurationError(
+                    f"batched linearisation field {attr!r} has shape {actual}, "
+                    f"expected {shape}"
                 )
 
 
@@ -183,6 +261,56 @@ class AnalogueBlock(ABC):
 
         Blocks with analytically known Jacobians (all blocks in the paper's
         case study) should override this for both speed and accuracy.
+        """
+        return None
+
+    # ------------------------------------------------------------------ #
+    # batched (lane-parallel) evaluation
+    # ------------------------------------------------------------------ #
+    def evaluate_batch(
+        self,
+        lanes: Sequence["AnalogueBlock"],
+        t: float,
+        x: np.ndarray,
+        y: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Evaluate ``f_x``/``f_y`` for ``B`` sibling lanes at once.
+
+        ``lanes`` is the sequence of same-structure block instances being
+        marched in lock-step (``lanes[0] is self``); ``x`` has shape
+        ``(B, n_states)`` and ``y`` has shape ``(B, n_terminals)``.
+        Returns ``(dxdt, residual_y)`` with shapes ``(B, n_states)`` and
+        ``(B, n_algebraic)``.
+
+        The default implementation loops over the lanes calling the scalar
+        methods, so unported blocks keep working; vectorised overrides must
+        produce bit-identical values (same IEEE-754 operations, merely
+        element-wise across the lane axis) so that the batched solver's
+        fixed-step byte-identity contract holds.
+        """
+        dxdt = np.empty((len(lanes), self.n_states))
+        res_y = np.empty((len(lanes), self.n_algebraic))
+        for i, block in enumerate(lanes):
+            dxdt[i] = block.derivatives(t, x[i], y[i])
+            if self.n_algebraic:
+                res_y[i] = block.algebraic_residual(t, x[i], y[i])
+        return dxdt, res_y
+
+    def linearise_batch(
+        self,
+        lanes: Sequence["AnalogueBlock"],
+        t: float,
+        x: np.ndarray,
+        y: np.ndarray,
+    ) -> Optional[BatchedLinearisation]:
+        """Linearise ``B`` sibling lanes at once, or ``None`` when unported.
+
+        Same lane convention as :meth:`evaluate_batch`.  Returning ``None``
+        asks the caller (:func:`repro.core.linearise.linearise_block_lanes`)
+        to fall back to a loop over the lanes' scalar linearisations, so a
+        block author only has to port this method when the block shows up
+        in batched sweeps hot paths.  Ported implementations must be
+        bit-identical to the scalar :meth:`linearise` per lane.
         """
         return None
 
@@ -305,4 +433,25 @@ class LinearBlock(AnalogueBlock):
             ey=self._w(t),
         )
         lin.validate(self.n_states, self.n_terminals, self.n_algebraic)
+        return lin
+
+    def linearise_batch(
+        self,
+        lanes: Sequence[AnalogueBlock],
+        t: float,
+        x: np.ndarray,
+        y: np.ndarray,
+    ) -> BatchedLinearisation:
+        # constant matrices stack directly; the (possibly lane-specific)
+        # excitations are evaluated through the scalar path so the batched
+        # model is bit-identical to per-lane linearise()
+        lin = BatchedLinearisation(
+            jxx=np.stack([lane.a for lane in lanes]),
+            jxy=np.stack([lane.b for lane in lanes]),
+            ex=np.stack([lane._u(t) for lane in lanes]),
+            jyx=np.stack([lane.c for lane in lanes]),
+            jyy=np.stack([lane.d for lane in lanes]),
+            ey=np.stack([lane._w(t) for lane in lanes]),
+        )
+        lin.validate(len(lanes), self.n_states, self.n_terminals, self.n_algebraic)
         return lin

@@ -34,9 +34,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .block import AnalogueBlock, BlockLinearisation
-from .errors import SingularSystemError
-from .linearise import linearise_block
+from .block import AnalogueBlock, BatchedLinearisation, BlockLinearisation
+from .errors import ConfigurationError, SingularLaneError, SingularSystemError
+from .linearise import linearise_block, linearise_block_lanes
 from .netlist import Net, Netlist
 
 __all__ = [
@@ -44,6 +44,9 @@ __all__ = [
     "GlobalLinearisation",
     "ReducedSystem",
     "SystemAssembler",
+    "BatchedGlobalLinearisation",
+    "BatchedReducedSystem",
+    "BatchedAssembler",
 ]
 
 
@@ -407,3 +410,272 @@ class SystemAssembler:
                     t, x_local, y_local
                 )
         return dxdt, res_y
+
+
+# ---------------------------------------------------------------------- #
+# batched (lane-parallel) assembly and elimination
+# ---------------------------------------------------------------------- #
+@dataclass
+class BatchedGlobalLinearisation:
+    """The assembled Jacobian blocks of ``B`` lanes, stacked lane-first."""
+
+    jxx: np.ndarray
+    jxy: np.ndarray
+    ex: np.ndarray
+    jyx: np.ndarray
+    jyy: np.ndarray
+    ey: np.ndarray
+
+    @property
+    def n_lanes(self) -> int:
+        """Number of stacked lanes ``B``."""
+        return self.jxx.shape[0]
+
+    def lane(self, i: int) -> GlobalLinearisation:
+        """The i-th lane as a scalar :class:`GlobalLinearisation` (views)."""
+        return GlobalLinearisation(
+            jxx=self.jxx[i],
+            jxy=self.jxy[i],
+            ex=self.ex[i],
+            jyx=self.jyx[i],
+            jyy=self.jyy[i],
+            ey=self.ey[i],
+        )
+
+
+@dataclass
+class BatchedReducedSystem:
+    """Reduced state models of ``B`` lanes after terminal elimination.
+
+    The stacked sibling of :class:`ReducedSystem`: ``a_reduced`` has shape
+    ``(B, n, n)``, ``b_reduced`` has shape ``(B, n)`` and so on.  All
+    products go through stacked ``matmul`` so every lane's derivative and
+    terminal values are bit-identical to its scalar :class:`ReducedSystem`.
+    """
+
+    a_reduced: np.ndarray
+    b_reduced: np.ndarray
+    y_solution: np.ndarray
+    elimination_matrix: np.ndarray
+    elimination_offset: np.ndarray
+
+    @property
+    def n_lanes(self) -> int:
+        """Number of stacked lanes ``B``."""
+        return self.a_reduced.shape[0]
+
+    def derivative(self, x: np.ndarray) -> np.ndarray:
+        """State derivatives ``A_r x + b_r`` of all lanes at states ``x`` (B, n)."""
+        return np.matmul(self.a_reduced, x[..., None])[..., 0] + self.b_reduced
+
+    def terminal_values(self, x: np.ndarray) -> np.ndarray:
+        """Terminal variables implied by states ``x`` under the local models."""
+        return (
+            np.matmul(self.elimination_matrix, x[..., None])[..., 0]
+            + self.elimination_offset
+        )
+
+    def lane(self, i: int) -> ReducedSystem:
+        """The i-th lane as a scalar :class:`ReducedSystem` (views)."""
+        return ReducedSystem(
+            a_reduced=self.a_reduced[i],
+            b_reduced=self.b_reduced[i],
+            y_solution=self.y_solution[i],
+            elimination_matrix=self.elimination_matrix[i],
+            elimination_offset=self.elimination_offset[i],
+        )
+
+    def select(self, keep: np.ndarray) -> "BatchedReducedSystem":
+        """Sub-batch containing only the lanes selected by ``keep``."""
+        return BatchedReducedSystem(
+            a_reduced=self.a_reduced[keep],
+            b_reduced=self.b_reduced[keep],
+            y_solution=self.y_solution[keep],
+            elimination_matrix=self.elimination_matrix[keep],
+            elimination_offset=self.elimination_offset[keep],
+        )
+
+
+class BatchedAssembler:
+    """Assembles and eliminates ``B`` same-topology systems in lock-step.
+
+    The lane-parallel sibling of :class:`SystemAssembler`: each lane is one
+    candidate's assembler (same netlist topology, its own block parameter
+    values), and every per-step quantity is held in stacked ``(B, ...)``
+    arrays so one NumPy call sweeps all lanes.  The scalar assemblers'
+    shared :class:`AssemblyStructure` provides the indexing; block groups
+    are linearised through the batched block API
+    (:func:`repro.core.linearise.linearise_block_lanes`) with a
+    loop-over-lanes fallback for unported blocks.
+
+    All linear algebra uses stacked ``np.linalg.solve``/``matmul``, which
+    process each lane through the same LAPACK/BLAS routines as the scalar
+    path — per-lane results are bit-identical to a scalar
+    :class:`SystemAssembler` run, which is what makes the batched solver's
+    fixed-step byte-identity contract possible.
+    """
+
+    def __init__(self, assemblers: Sequence[SystemAssembler]) -> None:
+        if not assemblers:
+            raise ConfigurationError("BatchedAssembler needs at least one lane")
+        first = assemblers[0].structure
+        for assembler in assemblers[1:]:
+            if assembler.structure.signature != first.signature:
+                raise ConfigurationError(
+                    "all lanes of a batched assembly must share one topology; "
+                    "group candidates by topology hash before batching"
+                )
+        self._assemblers = list(assemblers)
+        self._structure = first
+        # lanes of sibling blocks, grouped in assembly order
+        self._block_lanes: List[List[AnalogueBlock]] = [
+            [assembler.blocks[i] for assembler in self._assemblers]
+            for i in range(len(self._assemblers[0].blocks))
+        ]
+
+    # ------------------------------------------------------------------ #
+    # structural queries
+    # ------------------------------------------------------------------ #
+    @property
+    def n_lanes(self) -> int:
+        """Number of lanes ``B``."""
+        return len(self._assemblers)
+
+    @property
+    def n_states(self) -> int:
+        """Global state count (shared by every lane)."""
+        return self._structure.n_states
+
+    @property
+    def n_terminals(self) -> int:
+        """Global terminal-variable count (shared by every lane)."""
+        return self._structure.n_terminals
+
+    @property
+    def structure(self) -> AssemblyStructure:
+        """The shared topology-derived indexing."""
+        return self._structure
+
+    def lane_assembler(self, i: int) -> SystemAssembler:
+        """The scalar assembler backing lane ``i``."""
+        return self._assemblers[i]
+
+    def select(self, keep: np.ndarray) -> "BatchedAssembler":
+        """Sub-batch containing only the lanes selected by ``keep`` indices."""
+        return BatchedAssembler([self._assemblers[int(i)] for i in keep])
+
+    def initial_state(self) -> np.ndarray:
+        """Stacked initial global state vectors, shape ``(B, n_states)``."""
+        return np.stack([assembler.initial_state() for assembler in self._assemblers])
+
+    # ------------------------------------------------------------------ #
+    # assembly and elimination
+    # ------------------------------------------------------------------ #
+    def assemble(
+        self, t: float, x_global: np.ndarray, y_global: np.ndarray
+    ) -> BatchedGlobalLinearisation:
+        """Linearise every block group and scatter into stacked Jacobians."""
+        b = self.n_lanes
+        s = self._structure
+        jxx = np.zeros((b, s.n_states, s.n_states))
+        jxy = np.zeros((b, s.n_states, s.n_terminals))
+        ex = np.zeros((b, s.n_states))
+        jyx = np.zeros((b, s.n_algebraic, s.n_states))
+        jyy = np.zeros((b, s.n_algebraic, s.n_terminals))
+        ey = np.zeros((b, s.n_algebraic))
+
+        for lanes in self._block_lanes:
+            rep = lanes[0]
+            offset = s.state_offsets[rep.name]
+            sl = slice(offset, offset + rep.n_states)
+            terminal_idx = s.terminal_maps[rep.name]
+            x_local = x_global[:, sl]
+            y_local = y_global[:, terminal_idx]
+            lin: BatchedLinearisation = linearise_block_lanes(lanes, t, x_local, y_local)
+
+            jxx[:, sl, sl] = lin.jxx
+            ex[:, sl] = lin.ex
+            if rep.n_terminals:
+                jxy[:, sl, terminal_idx] += lin.jxy
+            if rep.n_algebraic:
+                r0 = s.alg_offsets[rep.name]
+                rows = slice(r0, r0 + rep.n_algebraic)
+                jyx[:, rows, sl] = lin.jyx
+                if rep.n_terminals:
+                    jyy[:, rows, terminal_idx] += lin.jyy
+                ey[:, rows] = lin.ey
+
+        return BatchedGlobalLinearisation(
+            jxx=jxx, jxy=jxy, ex=ex, jyx=jyx, jyy=jyy, ey=ey
+        )
+
+    def eliminate(
+        self, lin: BatchedGlobalLinearisation, x_global: np.ndarray
+    ) -> BatchedReducedSystem:
+        """Solve Eq. (4) for all lanes with one stacked linear solve.
+
+        Raises :class:`SingularLaneError` naming the offending lanes when
+        any lane's ``J_yy`` is singular, so the caller can retire exactly
+        those lanes and keep the rest marching.
+        """
+        jyy = lin.jyy
+        b = lin.n_lanes
+        n_states = lin.jxx.shape[1]
+        if jyy.shape[1] != jyy.shape[2]:
+            raise SingularSystemError(
+                f"algebraic system is not square ({jyy.shape[1]}x{jyy.shape[2]})"
+            )
+        if jyy.shape[1] == 0:
+            empty = np.zeros((b, 0))
+            return BatchedReducedSystem(
+                a_reduced=lin.jxx,
+                b_reduced=lin.ex,
+                y_solution=empty,
+                elimination_matrix=np.zeros((b, 0, n_states)),
+                elimination_offset=empty,
+            )
+        rhs = np.empty((b, jyy.shape[1], n_states + 1))
+        rhs[:, :, :-1] = lin.jyx
+        rhs[:, :, -1] = lin.ey
+        try:
+            solution = np.linalg.solve(jyy, rhs)
+        except np.linalg.LinAlgError:
+            # identify the offending lanes with the same per-lane solve the
+            # scalar path runs, so the blame criterion matches exactly
+            bad = []
+            for i in range(b):
+                try:
+                    np.linalg.solve(jyy[i], rhs[i])
+                except np.linalg.LinAlgError:
+                    bad.append(i)
+            if not bad:  # pragma: no cover - solve failed but no lane blamed
+                bad = list(range(b))
+            raise SingularLaneError(
+                "terminal-variable elimination failed: J_yy is singular in "
+                f"lane(s) {bad}; check block wiring of those candidates",
+                lane_indices=bad,
+            ) from None
+        elimination_matrix = -solution[:, :, :-1]
+        elimination_offset = -solution[:, :, -1]
+        y_solution = (
+            np.matmul(elimination_matrix, x_global[..., None])[..., 0]
+            + elimination_offset
+        )
+        a_reduced = lin.jxx + np.matmul(lin.jxy, elimination_matrix)
+        b_reduced = lin.ex + np.matmul(lin.jxy, elimination_offset[..., None])[..., 0]
+        return BatchedReducedSystem(
+            a_reduced=a_reduced,
+            b_reduced=b_reduced,
+            y_solution=y_solution,
+            elimination_matrix=elimination_matrix,
+            elimination_offset=elimination_offset,
+        )
+
+    def reduce(
+        self, t: float, x_global: np.ndarray, y_global: Optional[np.ndarray] = None
+    ) -> BatchedReducedSystem:
+        """Convenience: assemble then eliminate in one call."""
+        if y_global is None:
+            y_global = np.zeros((self.n_lanes, self.n_terminals))
+        lin = self.assemble(t, x_global, y_global)
+        return self.eliminate(lin, x_global)

@@ -32,6 +32,19 @@ class SingularSystemError(SimulationError):
     """
 
 
+class SingularLaneError(SingularSystemError):
+    """Terminal-variable elimination failed for specific lanes of a batch.
+
+    Raised by the batched assembler instead of the plain
+    :class:`SingularSystemError` so the batched solver can retire exactly
+    the offending lanes (``lane_indices``) and keep marching the rest.
+    """
+
+    def __init__(self, message: str, lane_indices):
+        super().__init__(message)
+        self.lane_indices = tuple(lane_indices)
+
+
 class StabilityError(SimulationError):
     """The explicit integration became unstable (step size too large)."""
 

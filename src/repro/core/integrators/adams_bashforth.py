@@ -149,6 +149,42 @@ class AdamsBashforth(ExplicitIntegrator):
         increment = weights @ derivatives
         return x + increment
 
+    def step_batch(
+        self,
+        func: DerivativeFn,
+        t: float,
+        x: np.ndarray,
+        h: float,
+        state: Optional[IntegratorState] = None,
+    ) -> np.ndarray:
+        """Lock-step Adams-Bashforth update for a ``(B, n)`` lane stack.
+
+        The history holds stacked ``(B, n)`` derivative samples at the
+        shared step times, and the weight contraction runs as a stacked
+        ``matmul`` — the same BLAS kernel per lane as the scalar
+        ``weights @ derivatives`` — so every lane advances bit-identically
+        to its scalar march.  The start-up RK4 step is element-wise and
+        reuses the scalar helper unchanged.
+        """
+        if h <= 0.0:
+            raise ValueError(f"step size must be positive, got {h}")
+        x = np.asarray(x, dtype=float)
+        derivative = np.asarray(func(t, x), dtype=float)
+        if state is None:
+            return x + h * derivative
+        state.push(t, derivative, max_length=self.order)
+
+        if len(state.history) < self.order and self.order > 1:
+            return self._runge_kutta_start(func, t, x, h, derivative)
+
+        samples: List[Tuple[float, np.ndarray]] = list(state.history)
+        times = [sample_t for sample_t, _ in samples]
+        # (B, k, n): lane-major stack of the k retained derivative samples
+        derivatives = np.stack([sample_f for _, sample_f in samples], axis=1)
+        weights = _variable_step_weights(times, t_start=t, t_end=t + h)
+        increment = np.matmul(weights[None, None, :], derivatives)[:, 0, :]
+        return x + increment
+
     @staticmethod
     def _runge_kutta_start(
         func: DerivativeFn, t: float, x: np.ndarray, h: float, k1: np.ndarray

@@ -93,6 +93,28 @@ class ExplicitIntegrator(ABC):
             Multi-step history; may be ``None`` for single-step methods.
         """
 
+    def step_batch(
+        self,
+        func: DerivativeFn,
+        t: float,
+        x: np.ndarray,
+        h: float,
+        state: Optional[IntegratorState] = None,
+    ) -> np.ndarray:
+        """Advance a ``(B, n)`` stack of lane states in lock-step.
+
+        ``func`` receives and returns ``(B, n)`` stacks.  The default
+        delegates to :meth:`step`, which is valid for single-step formulas
+        (Forward Euler, Runge-Kutta): their update combines ``x`` and
+        derivative evaluations purely element-wise, so the scalar code is
+        shape-agnostic and each lane's result is bit-identical to its
+        scalar march.  Multi-step formulas contract their derivative
+        history with weights and must override this with a stacked
+        contraction (see
+        :meth:`~repro.core.integrators.adams_bashforth.AdamsBashforth.step_batch`).
+        """
+        return self.step(func, t, x, h, state)
+
     def notify_discontinuity(self, state: Optional[IntegratorState]) -> None:
         """Inform the integrator that the model changed discontinuously.
 

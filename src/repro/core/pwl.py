@@ -165,6 +165,40 @@ class PWLTable:
         """Vectorised evaluation for an array of query points."""
         return np.array([self(float(x)) for x in np.asarray(xs, dtype=float)])
 
+    # ------------------------------------------------------------------ #
+    # batched lookup (lane-parallel solver hot path)
+    # ------------------------------------------------------------------ #
+    def segment_indices(self, xs: np.ndarray) -> np.ndarray:
+        """Segment index of every query in ``xs`` (vectorised).
+
+        Bit-compatible with the scalar :meth:`_segment_index`: the uniform
+        grid uses the same ``floor((x - x0) / dx)`` arithmetic element-wise
+        and the non-uniform grid uses ``searchsorted`` (identical to the
+        scalar ``bisect_right``), so batched and scalar lookups land on the
+        same segment for every input.
+        """
+        xs = np.asarray(xs, dtype=float)
+        if self._data.uniform:
+            idx = np.floor((xs - self._x0) / self._data.dx).astype(np.intp)
+        else:
+            idx = np.searchsorted(self._data.x, xs, side="right") - 1
+        return np.clip(idx, 0, self._n_segments)
+
+    def interpolate_at(self, idx: np.ndarray, xs: np.ndarray) -> np.ndarray:
+        """Vectorised interpolation on precomputed segment indices.
+
+        The per-element arithmetic is exactly the scalar
+        :meth:`_interpolate_at` formula, so results are bit-identical to
+        scalar lookups at the same points.
+        """
+        xs = np.asarray(xs, dtype=float)
+        x_table = self._data.x
+        y_table = self._data.y
+        x0 = x_table[idx]
+        y0 = y_table[idx]
+        t = (xs - x0) / (x_table[idx + 1] - x0)
+        return y0 + t * (y_table[idx + 1] - y0)
+
 
 class CompanionTable:
     """Paired lookup tables ``(G(v), J(v))`` for a linearised companion model.
@@ -222,6 +256,25 @@ class CompanionTable:
         """Reconstruct the branch current ``i = G(v)*v + J(v)``."""
         g, j = self.evaluate(v)
         return g * v + j
+
+    def evaluate_batch(self, vs: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`evaluate` over an array of operating voltages.
+
+        One shared segment search serves both interpolations, exactly like
+        the scalar fast path; the result is bit-identical to calling
+        :meth:`evaluate` per element (same segment choice, same
+        interpolation arithmetic).
+        """
+        vs = np.asarray(vs, dtype=float)
+        g = self._g
+        if not (g._extrapolate and self._j._extrapolate):
+            flat = vs.reshape(-1)
+            pairs = [self.evaluate(float(v)) for v in flat]
+            g_vals = np.array([p[0] for p in pairs]).reshape(vs.shape)
+            j_vals = np.array([p[1] for p in pairs]).reshape(vs.shape)
+            return g_vals, j_vals
+        idx = g.segment_indices(vs)
+        return g.interpolate_at(idx, vs), self._j.interpolate_at(idx, vs)
 
 
 def build_table(

@@ -131,6 +131,45 @@ def integrator_step_limit(
     return safety * limit if np.isfinite(limit) else float("inf")
 
 
+def integrator_step_limit_batch(
+    a: np.ndarray,
+    real_extent: float,
+    imag_extent: float,
+    safety: float = 0.9,
+) -> np.ndarray:
+    """Per-lane :func:`integrator_step_limit` for a stacked ``(B, n, n)`` batch.
+
+    One batched eigenvalue sweep replaces ``B`` scalar calls; the bound
+    arithmetic is the same diamond/circle inscription evaluated
+    element-wise, so each lane's limit equals its scalar value.  Returns an
+    array of shape ``(B,)`` (``inf`` where nothing restricts the step).
+    """
+    a = np.asarray(a, dtype=float)
+    if a.ndim != 3:
+        raise ValueError(f"expected a (B, n, n) stack, got shape {a.shape}")
+    if real_extent <= 0.0:
+        raise ValueError("real_extent must be positive")
+    b = a.shape[0]
+    if a.shape[1] == 0:
+        return np.full(b, float("inf"))
+    eigenvalues = np.linalg.eigvals(a)  # (B, n)
+    alpha = np.real(eigenvalues)
+    beta = np.imag(eigenvalues)
+    bounds = np.full(alpha.shape, float("inf"))
+    if imag_extent > 0.0:
+        denom = np.abs(alpha) / real_extent + np.abs(beta) / imag_extent
+        restrictive = ~((alpha >= 0.0) & (beta == 0.0)) & (denom > 0.0)
+        np.divide(1.0, denom, out=bounds, where=restrictive)
+    else:
+        restrictive = alpha < 0.0
+        magnitude_sq = alpha * alpha + beta * beta
+        np.divide(
+            real_extent * (-alpha), magnitude_sq, out=bounds, where=restrictive
+        )
+    limits = np.min(bounds, axis=1)
+    return np.where(np.isfinite(limits), safety * limits, float("inf"))
+
+
 def is_diagonally_dominant(matrix: np.ndarray, *, strict: bool = False) -> bool:
     """Row diagonal dominance test used as the cheap stability surrogate."""
     matrix = np.asarray(matrix, dtype=float)

@@ -17,14 +17,38 @@ used by the solver each step.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
 from .errors import ConfigurationError, StepSizeError
-from .stability import diagonal_dominance_step_limit, integrator_step_limit
+from .stability import (
+    diagonal_dominance_step_limit,
+    integrator_step_limit,
+    integrator_step_limit_batch,
+)
 
-__all__ = ["StepControlSettings", "StepSizeController"]
+__all__ = [
+    "StepControlSettings",
+    "StepSizeController",
+    "BatchedStepController",
+    "relative_jacobian_drift",
+]
+
+
+def relative_jacobian_drift(a: np.ndarray, reference: np.ndarray) -> np.ndarray:
+    """Per-lane relative Frobenius drift of stacked Jacobians.
+
+    ``||a_i - reference_i||_F / ||reference_i||_F`` with a zero-norm
+    reference falling back to an absolute scale of 1 — the batched
+    counterpart of the scalar controllers' drift metric, shared by step
+    control and the batched solver's LLE monitoring so the two can never
+    desynchronise.
+    """
+    diff = a - reference
+    scale = np.sqrt(np.sum(reference * reference, axis=(1, 2)))
+    scale = np.where(scale == 0.0, 1.0, scale)
+    return np.sqrt(np.sum(diff * diff, axis=(1, 2))) / scale
 
 
 @dataclass
@@ -207,3 +231,178 @@ class StepSizeController:
         self._previous_jacobian = np.array(a_reduced, dtype=float, copy=True)
         self._h_current = h
         return h
+
+
+class BatchedStepController:
+    """Lane-parallel step-size control for the batched lock-step march.
+
+    Runs the same accuracy/stability policy as ``B`` independent
+    :class:`StepSizeController` instances — per-lane Jacobian-drift
+    shrink/grow, per-lane cached spectral limits with drift-triggered
+    recomputation — but holds everything in stacked arrays so one batched
+    eigenvalue sweep serves every lane that needs a fresh stability bound.
+
+    The batched solver marches all lanes at the *minimum* of the per-lane
+    proposals; :meth:`commit` feeds that shared step back so the per-lane
+    growth limit references the step actually executed, exactly as the
+    scalar controller's ``_h_current`` does.
+
+    Lanes may carry different :class:`StepControlSettings` (a frequency
+    sweep gives every candidate its own ``h_max``); the per-lane knobs are
+    stored as arrays.  ``use_spectral_limit`` must agree across lanes.
+    """
+
+    def __init__(
+        self,
+        settings: Sequence[StepControlSettings],
+        integrator=None,
+    ) -> None:
+        if not settings:
+            raise ConfigurationError("BatchedStepController needs at least one lane")
+        for lane_settings in settings:
+            lane_settings.validate()
+        spectral = {lane_settings.use_spectral_limit for lane_settings in settings}
+        if len(spectral) != 1:
+            raise ConfigurationError(
+                "all lanes of a batched march must agree on use_spectral_limit"
+            )
+        self._use_spectral = spectral.pop()
+        self._real_extent = getattr(integrator, "stability_real_extent", 2.0)
+        self._imag_extent = getattr(integrator, "stability_imag_extent", 0.0)
+
+        def gather(attr: str) -> np.ndarray:
+            return np.array([getattr(s, attr) for s in settings], dtype=float)
+
+        self._h_initial = gather("h_initial")
+        self._h_min = gather("h_min")
+        self._h_max = gather("h_max")
+        self._safety = gather("safety")
+        self._growth = gather("growth_limit")
+        self._shrink = gather("shrink_limit")
+        self._change_target = gather("jacobian_change_target")
+        self._recompute_threshold = gather("stability_recompute_threshold")
+
+        self._h_current = self._h_initial.copy()
+        self._previous_jacobian: Optional[np.ndarray] = None
+        self._stability_jacobian: Optional[np.ndarray] = None
+        self._cached_stability_limit: Optional[np.ndarray] = None
+
+    @property
+    def n_lanes(self) -> int:
+        """Number of lanes."""
+        return self._h_current.shape[0]
+
+    def reset(self) -> None:
+        """Reset every lane (mirrors :meth:`StepSizeController.reset`)."""
+        self._h_current = self._h_initial.copy()
+        self._previous_jacobian = None
+        self._stability_jacobian = None
+        self._cached_stability_limit = None
+
+    def select(self, keep: np.ndarray) -> None:
+        """Drop retired lanes, keeping only the indices in ``keep``."""
+        for attr in (
+            "_h_initial",
+            "_h_min",
+            "_h_max",
+            "_safety",
+            "_growth",
+            "_shrink",
+            "_change_target",
+            "_recompute_threshold",
+            "_h_current",
+        ):
+            setattr(self, attr, getattr(self, attr)[keep])
+        for attr in (
+            "_previous_jacobian",
+            "_stability_jacobian",
+            "_cached_stability_limit",
+        ):
+            value = getattr(self, attr)
+            if value is not None:
+                setattr(self, attr, value[keep])
+
+    # ------------------------------------------------------------------ #
+    # criteria
+    # ------------------------------------------------------------------ #
+    def stability_limits(self, a_reduced: np.ndarray) -> np.ndarray:
+        """Per-lane stable-step bounds with drift-gated recomputation."""
+        b = a_reduced.shape[0]
+        if not self._use_spectral:
+            return np.array(
+                [
+                    diagonal_dominance_step_limit(
+                        a_reduced[i], safety=float(self._safety[i])
+                    )
+                    for i in range(b)
+                ]
+            )
+        if self._cached_stability_limit is None:
+            recompute = np.ones(b, dtype=bool)
+        else:
+            drift = relative_jacobian_drift(a_reduced, self._stability_jacobian)
+            recompute = drift > self._recompute_threshold
+        if np.any(recompute):
+            fresh = integrator_step_limit_batch(
+                a_reduced[recompute],
+                real_extent=self._real_extent,
+                imag_extent=self._imag_extent,
+                safety=1.0,
+            )
+            fresh = np.where(
+                np.isfinite(fresh), self._safety[recompute] * fresh, float("inf")
+            )
+            if self._cached_stability_limit is None:
+                self._cached_stability_limit = fresh
+                self._stability_jacobian = np.array(a_reduced, dtype=float, copy=True)
+            else:
+                self._cached_stability_limit[recompute] = fresh
+                self._stability_jacobian[recompute] = a_reduced[recompute]
+        return self._cached_stability_limit
+
+    # ------------------------------------------------------------------ #
+    # main entry point
+    # ------------------------------------------------------------------ #
+    def propose(
+        self, a_reduced: np.ndarray, *, t_remaining: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Per-lane step proposals for the next shared explicit step.
+
+        ``a_reduced`` is the stacked ``(B, n, n)`` reduced system matrices;
+        ``t_remaining`` the per-lane time left (or ``None``).  Returns the
+        ``(B,)`` array of proposals; the caller marches at their minimum.
+        """
+        h = self._h_current
+
+        if self._previous_jacobian is None:
+            change = np.zeros(h.shape[0])
+        else:
+            change = relative_jacobian_drift(a_reduced, self._previous_jacobian)
+        shrink_factor = np.maximum(
+            self._shrink,
+            np.divide(
+                self._change_target,
+                change,
+                out=np.ones_like(change),
+                where=change > 0.0,
+            ),
+        )
+        h = np.where(change > self._change_target, h * shrink_factor, h * self._growth)
+
+        h = np.minimum(h, self.stability_limits(a_reduced))
+        h = np.minimum(h, self._h_max)
+        h = np.maximum(h, self._h_min)
+        if t_remaining is not None:
+            h = np.where(t_remaining > 0.0, np.minimum(h, t_remaining), h)
+
+        if np.any(h <= 0.0) or not np.all(np.isfinite(h)):
+            raise StepSizeError(
+                f"batched step controller produced invalid steps {h!r}"
+            )
+        self._previous_jacobian = np.array(a_reduced, dtype=float, copy=True)
+        self._h_current = h
+        return h
+
+    def commit(self, h_shared: float) -> None:
+        """Record the shared step actually executed by the lock-step march."""
+        self._h_current = np.full(self.n_lanes, float(h_shared))

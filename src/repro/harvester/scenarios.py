@@ -39,6 +39,7 @@ __all__ = [
     "charging_scenario",
     "prepare_assembly",
     "scenario_solver_settings",
+    "attach_run_metadata",
     "run_proposed",
     "run_baseline",
     "run_reference",
@@ -270,8 +271,14 @@ def prepare_assembly(scenario: Scenario) -> AssemblyStructure:
     return scenario.build_harvester().assembly_structure
 
 
-def _attach_metadata(result: SimulationResult, scenario, harvester) -> SimulationResult:
-    """Scenario name + controller bookkeeping (when the controller keeps any)."""
+def attach_run_metadata(
+    result: SimulationResult, scenario, harvester
+) -> SimulationResult:
+    """Scenario name + controller bookkeeping (when the controller keeps any).
+
+    Public because every runner — including the sweep engine's batched
+    backend, which drives solvers directly — stamps results through it.
+    """
     result.metadata["scenario"] = scenario.name
     controller = getattr(harvester, "controller", None)
     if controller is not None:
@@ -302,7 +309,7 @@ def run_proposed(
         settings = scenario_solver_settings(scenario)
     solver = harvester.build_solver(integrator=integrator, settings=settings)
     result = solver.run(scenario.duration_s)
-    return _attach_metadata(result, scenario, harvester)
+    return attach_run_metadata(result, scenario, harvester)
 
 
 def run_baseline(scenario: Scenario, **solver_kwargs) -> SimulationResult:
@@ -310,7 +317,7 @@ def run_baseline(scenario: Scenario, **solver_kwargs) -> SimulationResult:
     harvester = scenario.build_harvester()
     solver = harvester.build_baseline_solver(**solver_kwargs)
     result = solver.run(scenario.duration_s)
-    return _attach_metadata(result, scenario, harvester)
+    return attach_run_metadata(result, scenario, harvester)
 
 
 def run_reference(scenario: Scenario, settings=None) -> SimulationResult:
@@ -324,4 +331,4 @@ def run_reference(scenario: Scenario, settings=None) -> SimulationResult:
     )
     harvester._wire(solver)
     result = solver.run(scenario.duration_s)
-    return _attach_metadata(result, scenario, harvester)
+    return attach_run_metadata(result, scenario, harvester)

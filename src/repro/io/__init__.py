@@ -7,6 +7,7 @@ from .csvio import (
     export_traces,
     import_traces,
     read_checkpoint,
+    validate_checkpoint,
     write_checkpoint_header,
 )
 from .report import (
@@ -26,6 +27,7 @@ __all__ = [
     "export_traces",
     "import_traces",
     "read_checkpoint",
+    "validate_checkpoint",
     "write_checkpoint_header",
     "format_duration",
     "format_key_values",

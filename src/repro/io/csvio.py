@@ -28,6 +28,7 @@ __all__ = [
     "write_checkpoint_header",
     "append_checkpoint_row",
     "read_checkpoint",
+    "validate_checkpoint",
 ]
 
 PathLike = Union[str, Path]
@@ -168,3 +169,33 @@ def read_checkpoint(
             raise ConfigurationError(f"{path} has no checkpoint header row")
         rows = [row for row in reader if len(row) == len(fieldnames)]
     return metadata, fieldnames, rows
+
+
+def validate_checkpoint(
+    path: PathLike,
+    expected_metadata: Mapping[str, str],
+    expected_fieldnames: Sequence[str],
+) -> List[List[str]]:
+    """Read a checkpoint and refuse one written by a *different* sweep.
+
+    The sweep engine stores a grid/config hash (parameter values, solver
+    profile, backend, base-scenario fingerprint) in the header metadata;
+    any mismatch means the recorded scores belong to different candidates,
+    so resuming would silently stitch stale scores into the wrong grid
+    points.  Raises :class:`ConfigurationError` naming both sides instead;
+    returns the completed-candidate rows when everything matches.
+    """
+    metadata, fieldnames, rows = read_checkpoint(path)
+    if any(
+        metadata.get(key) != value for key, value in expected_metadata.items()
+    ):
+        raise ConfigurationError(
+            f"checkpoint {path} belongs to a different sweep "
+            f"(found {metadata}, expected {dict(expected_metadata)}); "
+            "delete it or point the engine at a fresh path"
+        )
+    if tuple(fieldnames) != tuple(expected_fieldnames):
+        raise ConfigurationError(
+            f"checkpoint {path} has unexpected columns {fieldnames}"
+        )
+    return rows

@@ -1,0 +1,237 @@
+"""Batched vs scalar block equivalence (the lane-parallel contract).
+
+Property-style check: for every registered stock analogue block, the
+batched linearisation of ``B`` parameter-varied lanes must stack exactly
+the per-lane scalar linearisations — bit-identical, not merely close —
+at randomised operating points.  This is the contract the batched
+solver's fixed-step byte-identity rests on, and it covers both the
+vectorised ports (electromagnetic generator, Dickson multiplier,
+supercapacitor) and the generic fallbacks (piezoelectric via
+loop-over-lanes stacking, electrostatic via the batched finite-difference
+sweep of :mod:`repro.core.linearise`).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.block import BatchedLinearisation, LinearBlock
+from repro.core.builder import BuildContext
+from repro.core.linearise import (
+    linearise_block,
+    linearise_block_lanes,
+    linearise_lanes_numerically,
+)
+from repro.core.registry import BLOCK_REGISTRY
+
+BLOCK_REGISTRY.ensure_default_library()
+
+N_LANES = 5
+
+
+def _lane_accelerations(rng):
+    """Per-lane sinusoidal excitations with distinct frequency/amplitude."""
+    sources = []
+    for _ in range(N_LANES):
+        freq = float(rng.uniform(40.0, 90.0))
+        amp = float(rng.uniform(0.2, 1.0))
+        sources.append(
+            lambda t, f=freq, a=amp: a * math.sin(2.0 * math.pi * f * t)
+        )
+    return sources
+
+
+def _jitter(rng, value, spread=0.4):
+    """Multiplicative per-lane perturbation of a positive base value."""
+    return float(value * (1.0 + spread * (rng.random() - 0.5)))
+
+
+def _build_lanes(key, rng, param_fn):
+    accelerations = _lane_accelerations(rng)
+    lanes = []
+    for i in range(N_LANES):
+        context = BuildContext(acceleration=accelerations[i])
+        lanes.append(
+            BLOCK_REGISTRY.create(key, "block", param_fn(rng, i), context)
+        )
+    return lanes
+
+
+def _lane_params(key, rng, i):
+    """Randomised per-lane parameters for each registered stock block."""
+    if key == "electromagnetic_generator":
+        return {
+            "proof_mass_kg": _jitter(rng, 0.05),
+            "parasitic_damping": _jitter(rng, 0.1),
+            "spring_stiffness": _jitter(rng, 9000.0),
+            "flux_linkage": _jitter(rng, 14.0),
+            "coil_resistance": _jitter(rng, 1500.0),
+            "coil_inductance": _jitter(rng, 1.0),
+            "buckling_load_n": _jitter(rng, 4.5),
+            "initial_tuning_force_n": float(rng.uniform(0.0, 3.0)),
+        }
+    if key == "piezoelectric_generator":
+        return {
+            "proof_mass_kg": _jitter(rng, 0.008),
+            "spring_stiffness": _jitter(rng, 1500.0),
+            "series_resistance_ohm": float(rng.uniform(0.0, 100.0)),
+        }
+    if key == "electrostatic_generator":
+        # odd lanes exercise the bias-replenishment + series-R path, even
+        # lanes the strict charge-constrained model
+        return {
+            "proof_mass_kg": _jitter(rng, 0.002),
+            "spring_stiffness": _jitter(rng, 400.0),
+            "plate_area_m2": _jitter(rng, 4e-4),
+            "nominal_gap_m": _jitter(rng, 100e-6),
+            "bias_charge_c": _jitter(rng, 2e-8),
+            "series_resistance_ohm": 1e6 if i % 2 else 0.0,
+            "bias_voltage_v": 5.0 if i % 2 else 0.0,
+            "recharge_resistance_ohm": 2e6 if i % 2 else 0.0,
+        }
+    if key == "dickson_multiplier":
+        return {
+            "stage_capacitance_f": _jitter(rng, 10e-6),
+            "output_capacitance_f": _jitter(rng, 220e-6),
+            "input_capacitance_f": _jitter(rng, 0.1e-6),
+        }
+    if key == "supercapacitor":
+        return {
+            "immediate_resistance_ohm": _jitter(rng, 2.5),
+            "immediate_capacitance_f": _jitter(rng, 0.9),
+            "delayed_resistance_ohm": _jitter(rng, 90.0),
+            "leakage_resistance_ohm": 5000.0 if i % 2 else 0.0,
+            "initial_voltage_v": float(rng.uniform(0.0, 4.0)),
+            "load_awake_ohm": _jitter(rng, 33.0),
+        }
+    raise AssertionError(f"no lane parameters defined for {key!r}")
+
+
+def _operating_points(rng, block):
+    x = rng.standard_normal((N_LANES, block.n_states)) * 0.5
+    y = rng.standard_normal((N_LANES, block.n_terminals)) * 0.5
+    return x, y
+
+
+def _assert_stacks_equal(batched, lanes, t, x, y):
+    """Batched linearisation must equal per-lane scalar results exactly."""
+    assert isinstance(batched, BatchedLinearisation)
+    rep = lanes[0]
+    batched.validate(len(lanes), rep.n_states, rep.n_terminals, rep.n_algebraic)
+    for i, lane in enumerate(lanes):
+        scalar = linearise_block(lane, t, x[i], y[i])
+        for attr in ("jxx", "jxy", "ex", "jyx", "jyy", "ey"):
+            got = getattr(batched, attr)[i]
+            want = getattr(scalar, attr)
+            assert np.array_equal(got, want), (
+                f"{type(lane).__name__}.{attr} lane {i}: batched != scalar "
+                f"(max abs diff {np.max(np.abs(got - want))})"
+            )
+
+
+STOCK_ANALOGUE_KEYS = sorted(BLOCK_REGISTRY.keys(role="analogue"))
+
+
+def test_all_stock_analogue_blocks_are_covered():
+    # the parameterised test below must enumerate the full stock library;
+    # a newly registered analogue block has to be added to _lane_params
+    assert STOCK_ANALOGUE_KEYS == [
+        "dickson_multiplier",
+        "electromagnetic_generator",
+        "electrostatic_generator",
+        "piezoelectric_generator",
+        "supercapacitor",
+    ]
+
+
+@pytest.mark.parametrize("key", STOCK_ANALOGUE_KEYS)
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_linearise_batch_stacks_scalar_linearise(key, seed):
+    rng = np.random.default_rng(seed)
+    lanes = _build_lanes(key, rng, lambda r, i: _lane_params(key, r, i))
+    x, y = _operating_points(rng, lanes[0])
+    t = float(rng.uniform(0.0, 0.05))
+    batched = linearise_block_lanes(lanes, t, x, y)
+    _assert_stacks_equal(batched, lanes, t, x, y)
+
+
+@pytest.mark.parametrize("key", STOCK_ANALOGUE_KEYS)
+def test_evaluate_batch_stacks_scalar_evaluation(key):
+    rng = np.random.default_rng(7)
+    lanes = _build_lanes(key, rng, lambda r, i: _lane_params(key, r, i))
+    x, y = _operating_points(rng, lanes[0])
+    t = 0.0123
+    dxdt, res_y = lanes[0].evaluate_batch(lanes, t, x, y)
+    assert dxdt.shape == (N_LANES, lanes[0].n_states)
+    assert res_y.shape == (N_LANES, lanes[0].n_algebraic)
+    for i, lane in enumerate(lanes):
+        assert np.array_equal(dxdt[i], lane.derivatives(t, x[i], y[i]))
+        if lane.n_algebraic:
+            assert np.array_equal(
+                res_y[i], lane.algebraic_residual(t, x[i], y[i])
+            )
+
+
+def test_electrostatic_batched_fd_matches_scalar_fd():
+    # the electrostatic block has no analytic linearise: the batched path
+    # must go through the vectorised finite-difference sweep and still be
+    # bit-identical to each lane's scalar central differences
+    rng = np.random.default_rng(3)
+    lanes = _build_lanes(
+        "electrostatic_generator",
+        rng,
+        lambda r, i: _lane_params("electrostatic_generator", r, i),
+    )
+    assert all(
+        lane.linearise(0.0, np.zeros(3), np.zeros(2)) is None for lane in lanes
+    )
+    x, y = _operating_points(rng, lanes[0])
+    # use plate-charge-scaled states so the relative FD step paths (both
+    # |x| < 1 and |x| > 1) are exercised
+    x[:, 2] = rng.uniform(0.5, 2.0, size=N_LANES) * 2e-8
+    batched = linearise_lanes_numerically(lanes, 0.01, x, y)
+    _assert_stacks_equal(batched, lanes, 0.01, x, y)
+
+
+def test_dickson_mixed_diode_tables_take_the_lane_loop():
+    # lanes with different diode parameters cannot share one companion
+    # table; the batched linearisation must still stack the scalar results
+    rng = np.random.default_rng(11)
+    params = []
+    for i in range(N_LANES):
+        p = _lane_params("dickson_multiplier", rng, i)
+        p["diode_saturation_current_a"] = float(1e-8 * (1 + i))
+        params.append(p)
+    lanes = _build_lanes("dickson_multiplier", rng, lambda r, i: params[i])
+    tables = {id(lane.companion_table) for lane in lanes}
+    assert len(tables) == N_LANES
+    x, y = _operating_points(rng, lanes[0])
+    batched = linearise_block_lanes(lanes, 0.0, x, y)
+    _assert_stacks_equal(batched, lanes, 0.0, x, y)
+
+
+def test_linear_block_batched_port():
+    rng = np.random.default_rng(5)
+    lanes = []
+    for i in range(3):
+        a = -np.diag(rng.uniform(1.0, 5.0, size=2))
+        b = rng.standard_normal((2, 1))
+        c = rng.standard_normal((1, 2))
+        d = rng.standard_normal((1, 1)) + 2.0
+        lanes.append(
+            LinearBlock(
+                "lin",
+                a,
+                b,
+                state_names=("s0", "s1"),
+                terminal_names=("p",),
+                c=c,
+                d=d,
+                excitation=lambda t, k=i: np.array([math.sin(t + k), 0.0]),
+            )
+        )
+    x = rng.standard_normal((3, 2))
+    y = rng.standard_normal((3, 1))
+    batched = linearise_block_lanes(lanes, 0.2, x, y)
+    _assert_stacks_equal(batched, lanes, 0.2, x, y)
