@@ -12,7 +12,8 @@ import pytest
 
 from repro.analysis.waveforms import compare_traces
 from repro.core.integrators import AdamsBashforth, RungeKutta4
-from repro.harvester.scenarios import charging_scenario, run_proposed
+from repro import RunOptions, Study
+from repro.harvester.scenarios import charging_scenario
 from repro.io.report import format_table
 
 DURATION_S = 0.15
@@ -32,7 +33,10 @@ INTEGRATORS = {
 def test_integrator(benchmark, name):
     scenario = charging_scenario(duration_s=DURATION_S)
     result = benchmark.pedantic(
-        lambda: run_proposed(scenario, integrator=INTEGRATORS[name]),
+        lambda: Study.scenario(scenario)
+        .options(RunOptions(integrator=INTEGRATORS[name]))
+        .run()
+        .result,
         rounds=1,
         iterations=1,
     )

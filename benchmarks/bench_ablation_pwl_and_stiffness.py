@@ -23,7 +23,8 @@ import pytest
 
 from repro.blocks.diode import DiodeParameters, ShockleyDiode, build_diode_companion_table
 from repro.harvester.config import paper_harvester
-from repro.harvester.scenarios import Scenario, charging_scenario, run_proposed
+from repro import Study
+from repro.harvester.scenarios import Scenario, charging_scenario
 from repro.io.report import format_table
 
 _pwl_rows = {}
@@ -75,7 +76,9 @@ def test_stiffness_limitation(benchmark, label):
         base.config, diode=DiodeParameters(series_resistance_ohm=resistance)
     )
     scenario = dataclasses.replace(base, config=config)
-    result = benchmark.pedantic(lambda: run_proposed(scenario), rounds=1, iterations=1)
+    result = benchmark.pedantic(
+        lambda: Study.scenario(scenario).run().result, rounds=1, iterations=1
+    )
     _stiff_rows[label] = [
         label,
         f"{resistance:.0f}",

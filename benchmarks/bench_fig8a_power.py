@@ -9,7 +9,8 @@ frequency shift, during the mismatch, and after the retune.
 """
 
 from repro.analysis.power import rms_power
-from repro.harvester.scenarios import run_proposed, scenario_1
+from repro import Study
+from repro.harvester.scenarios import scenario_1
 from repro.io.report import format_table
 
 #: the shift happens late enough for the resonance to build up first, and the
@@ -20,7 +21,9 @@ SHIFT_TIME_S = 1.5
 
 def test_fig8a_power_series(benchmark, report_writer):
     scenario = scenario_1(duration_s=DURATION_S, shift_time_s=SHIFT_TIME_S)
-    result = benchmark.pedantic(lambda: run_proposed(scenario), rounds=1, iterations=1)
+    result = benchmark.pedantic(
+        lambda: Study.scenario(scenario).run().result, rounds=1, iterations=1
+    )
 
     power = result["generator_power"]
     tuned_70 = rms_power(power, 1.0, SHIFT_TIME_S)

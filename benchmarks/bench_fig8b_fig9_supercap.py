@@ -14,7 +14,8 @@ import pytest
 
 from repro.analysis.waveforms import compare_traces
 from repro.baselines.reference import ReferenceSolverSettings
-from repro.harvester.scenarios import run_proposed, run_reference, scenario_1, scenario_2
+from repro import Study
+from repro.harvester.scenarios import scenario_1, scenario_2
 from repro.io.report import format_table
 
 #: shorter windows than the power benchmark: the reference (scipy) solver is
@@ -33,9 +34,11 @@ def _scenario(name):
 @pytest.mark.parametrize("name", ["fig8b_scenario1", "fig9_scenario2"])
 def test_supercapacitor_voltage_matches_reference(benchmark, name):
     scenario = _scenario(name)
-    proposed = benchmark.pedantic(lambda: run_proposed(scenario), rounds=1, iterations=1)
-    reference = run_reference(
-        _scenario(name),
+    proposed = benchmark.pedantic(
+        lambda: Study.scenario(scenario).run().result, rounds=1, iterations=1
+    )
+    reference = Study.scenario(_scenario(name)).solver(
+        "reference",
         settings=ReferenceSolverSettings(
             rtol=1e-7,
             atol=1e-9,
@@ -43,7 +46,7 @@ def test_supercapacitor_voltage_matches_reference(benchmark, name):
             record_interval=2e-3,
             parasitic_conductance_s=2e-6,
         ),
-    )
+    ).run()
     comparison = compare_traces(reference["storage_voltage"], proposed["storage_voltage"])
     _rows.append(
         [

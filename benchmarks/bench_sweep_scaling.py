@@ -6,11 +6,12 @@ that workload end to end.  A 16-candidate design grid (ambient frequency x
 excitation amplitude of the supercapacitor-charging scenario) is evaluated
 two ways:
 
-* **serial loop** — the historical ``ParameterSweep.run()`` path: one
-  candidate at a time, exact every-step relinearisation;
-* **parallel engine** — ``SweepEngine`` with 4 worker processes,
-  per-worker assembly-structure reuse and the amortised-relinearisation
-  profile (``relinearise_interval=4``).
+* **serial loop** — ``Study`` with default (exact) options: one
+  candidate at a time, exact every-step relinearisation — byte-identical
+  to the historical ``ParameterSweep.run()`` path;
+* **parallel engine** — ``RunOptions.fast(n_workers=4)``: 4 worker
+  processes, per-worker assembly-structure reuse and the
+  amortised-relinearisation profile (``relinearise_interval=4``).
 
 Pass criteria (asserted):
 
@@ -51,7 +52,8 @@ import json
 import time
 from pathlib import Path
 
-from repro.analysis.sweep import ParameterSweep, average_power_metric
+from repro import RunOptions, Study
+from repro.analysis.sweep import average_power_metric
 from repro.harvester.scenarios import charging_scenario
 from repro.io.report import format_table
 
@@ -91,14 +93,20 @@ QUICK_GRID = {
 QUICK_DURATION_S = 0.05
 
 
-def build_sweep(grid, duration_s):
+def build_study(grid, duration_s):
     scenario = charging_scenario(duration_s=duration_s)
-    return ParameterSweep(
-        scenario,
+    return Study.scenario(scenario).sweep(
         grid,
         metric=average_power_metric,
         metric_name="average_power_W",
     )
+
+
+def grid_size(grid):
+    n = 1
+    for values in grid.values():
+        n *= len(values)
+    return n
 
 
 def _write_json(n_candidates, duration_s, t_serial, t_engine, speedup, max_dev, quick):
@@ -126,15 +134,19 @@ def _write_json(n_candidates, duration_s, t_serial, t_engine, speedup, max_dev, 
 
 def run_comparison(grid, duration_s, *, assert_speedup=True, quick=False):
     """Run serial vs engine, return (report_text, speedup, max_deviation)."""
-    sweep = build_sweep(grid, duration_s)
-    n_candidates = len(list(sweep.candidates()))
+    study = build_study(grid, duration_s)
+    n_candidates = grid_size(grid)
 
     t0 = time.perf_counter()
-    serial = sweep.run()
+    serial = study.run()
     t_serial = time.perf_counter() - t0
 
     t0 = time.perf_counter()
-    engine = sweep.run(n_workers=WORKERS, relinearise_interval=RELINEARISE_INTERVAL)
+    engine = study.options(
+        RunOptions.fast(
+            relinearise_interval=RELINEARISE_INTERVAL, n_workers=WORKERS
+        )
+    ).run()
     t_engine = time.perf_counter() - t0
 
     speedup = t_serial / t_engine
@@ -227,21 +239,26 @@ def run_batched_comparison(grid, duration_s, *, assert_speedup=True, quick=False
     mode marches it as a single lane block to actually exercise the
     batched loop.
     """
-    sweep = build_sweep(grid, duration_s)
-    n_candidates = len(list(sweep.candidates()))
+    study = build_study(grid, duration_s)
+    n_candidates = grid_size(grid)
     batched_workers = 1 if quick else WORKERS
 
     t0 = time.perf_counter()
-    engine = sweep.run(n_workers=WORKERS, relinearise_interval=RELINEARISE_INTERVAL)
+    engine = study.options(
+        RunOptions.fast(
+            relinearise_interval=RELINEARISE_INTERVAL, n_workers=WORKERS
+        )
+    ).run()
     t_engine = time.perf_counter() - t0
 
     t0 = time.perf_counter()
-    batched = sweep.run(
-        n_workers=batched_workers,
-        backend="batched",
-        lane_width=n_candidates if quick else None,
-        relinearise_interval=RELINEARISE_INTERVAL,
-    )
+    batched = study.options(
+        RunOptions.batched(
+            lane_width=n_candidates if quick else None,
+            n_workers=batched_workers,
+            relinearise_interval=RELINEARISE_INTERVAL,
+        )
+    ).run()
     t_batched = time.perf_counter() - t0
     # runtime truth, not the planning count: every candidate's score must
     # actually have come out of a batched lock-step march

@@ -24,7 +24,8 @@ from repro.baselines.implicit_solver import ImplicitSolverSettings
 from repro.baselines.mna import TransientSettings
 from repro.baselines.spice import SpiceLikeHarvesterSimulator
 from repro.core.integrators import BackwardEuler, Trapezoidal
-from repro.harvester.scenarios import charging_scenario, run_baseline, run_proposed
+from repro import Study
+from repro.harvester.scenarios import charging_scenario
 
 #: simulated durations per engine — the slow baselines get shorter windows;
 #: all costs are normalised per simulated second before comparison
@@ -44,7 +45,9 @@ _table = SpeedupTable(
 
 def test_proposed_linearised_state_space(benchmark, report_writer):
     scenario = charging_scenario(duration_s=PROPOSED_DURATION_S)
-    result = benchmark.pedantic(lambda: run_proposed(scenario), rounds=1, iterations=1)
+    result = benchmark.pedantic(
+        lambda: Study.scenario(scenario).run().result, rounds=1, iterations=1
+    )
     _table.add(
         TimingEntry.from_result("proposed", result, notes="linearised state-space + AB3")
     )
@@ -54,11 +57,14 @@ def test_proposed_linearised_state_space(benchmark, report_writer):
 def test_vhdl_ams_like_baseline(benchmark, report_writer):
     scenario = charging_scenario(duration_s=BASELINE_DURATION_S)
     result = benchmark.pedantic(
-        lambda: run_baseline(
-            scenario,
+        lambda: Study.scenario(scenario)
+        .solver(
+            "baseline",
             formula=Trapezoidal,
             settings=ImplicitSolverSettings(step_size=2e-4, record_interval=1e-3),
-        ),
+        )
+        .run()
+        .result,
         rounds=1,
         iterations=1,
     )
@@ -73,11 +79,14 @@ def test_vhdl_ams_like_baseline(benchmark, report_writer):
 def test_systemc_a_like_baseline(benchmark, report_writer):
     scenario = charging_scenario(duration_s=BASELINE_DURATION_S)
     result = benchmark.pedantic(
-        lambda: run_baseline(
-            scenario,
+        lambda: Study.scenario(scenario)
+        .solver(
+            "baseline",
             formula=BackwardEuler,
             settings=ImplicitSolverSettings(step_size=2e-4, record_interval=1e-3),
-        ),
+        )
+        .run()
+        .result,
         rounds=1,
         iterations=1,
     )

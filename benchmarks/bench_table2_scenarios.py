@@ -20,7 +20,8 @@ import pytest
 
 from repro.analysis.speedup import SpeedupTable, TimingEntry
 from repro.baselines.implicit_solver import ImplicitSolverSettings
-from repro.harvester.scenarios import run_baseline, run_proposed, scenario_1, scenario_2
+from repro import Study
+from repro.harvester.scenarios import scenario_1, scenario_2
 
 PROPOSED_DURATION_S = {"scenario_1": 3.0, "scenario_2": 3.5}
 BASELINE_DURATION_S = 0.06
@@ -44,7 +45,9 @@ def _scenario(name, duration):
 @pytest.mark.parametrize("name", ["scenario_1", "scenario_2"])
 def test_proposed_technique(benchmark, name):
     scenario = _scenario(name, PROPOSED_DURATION_S[name])
-    result = benchmark.pedantic(lambda: run_proposed(scenario), rounds=1, iterations=1)
+    result = benchmark.pedantic(
+        lambda: Study.scenario(scenario).run().result, rounds=1, iterations=1
+    )
     _tables[name].add(
         TimingEntry.from_result("proposed", result, notes="linearised state-space + AB3")
     )
@@ -55,10 +58,13 @@ def test_proposed_technique(benchmark, name):
 def test_existing_technique_newton_raphson(benchmark, name):
     scenario = _scenario(name, BASELINE_DURATION_S)
     result = benchmark.pedantic(
-        lambda: run_baseline(
-            scenario,
+        lambda: Study.scenario(scenario)
+        .solver(
+            "baseline",
             settings=ImplicitSolverSettings(step_size=2e-4, record_interval=1e-3),
-        ),
+        )
+        .run()
+        .result,
         rounds=1,
         iterations=1,
     )

@@ -3,19 +3,21 @@
 The paper's conclusion states that the point of accelerating harvester
 simulation is "an automated design approach by which the best topology and
 optimal parameters of energy harvester are obtained iteratively using
-multiple simulations".  This example runs such a loop: it sweeps the
-ambient frequency around the tuned resonance to map the power-vs-frequency
-curve (the classic resonance peak that motivates tunable harvesters) and
-then sweeps the excitation amplitude to rank operating conditions by
-harvested energy — dozens of complete-system simulations that finish in
-minutes thanks to the linearised state-space solver.
+multiple simulations".  This example runs such a loop through the
+``Study`` facade: it sweeps the ambient frequency around the tuned
+resonance to map the power-vs-frequency curve (the classic resonance peak
+that motivates tunable harvesters) and then sweeps the excitation
+amplitude to rank operating conditions by harvested energy — dozens of
+complete-system simulations that finish in minutes thanks to the
+linearised state-space solver.
 
-The final sections scale the loop up with the sweep engine: a 2-D design
-grid evaluated by worker processes (live best-so-far progress, resumable
-checkpoint file, amortised-relinearisation fast profile), then the same
-grid on the **batched lane-parallel backend**, which marches all
-same-topology candidates in lock-step through stacked arrays — the
-fastest way to burn through a controller-free design grid.
+The final sections scale the loop up: a 2-D design grid evaluated by
+worker processes (live best-so-far progress, resumable checkpoint file,
+amortised-relinearisation fast profile via ``RunOptions.fast()``), then
+the same grid on the **batched lane-parallel backend**
+(``RunOptions.batched()``), which marches all same-topology candidates in
+lock-step through stacked arrays — the fastest way to burn through a
+controller-free design grid.
 
 Run with::
 
@@ -26,8 +28,8 @@ Run with::
 import argparse
 from pathlib import Path
 
-from repro import charging_scenario
-from repro.analysis import ParameterSweep, average_power_metric, sweep_excitation_frequency
+from repro import RunOptions, Study, charging_scenario, sweep_excitation_frequency
+from repro.analysis import average_power_metric
 from repro.io import format_sweep_progress, format_table
 
 
@@ -56,14 +58,15 @@ def resonance_curve() -> None:
 
 def amplitude_sweep() -> None:
     """Rank excitation amplitudes by the energy harvested in the window."""
-    scenario = charging_scenario(duration_s=0.3)
-    sweep = ParameterSweep(
-        scenario,
-        {"excitation_amplitude_ms2": [0.3, 0.59, 0.9]},
-        metric=average_power_metric,
-        metric_name="average_power_W",
+    result = (
+        Study.scenario(charging_scenario(duration_s=0.3))
+        .sweep(
+            {"excitation_amplitude_ms2": [0.3, 0.59, 0.9]},
+            metric=average_power_metric,
+            metric_name="average_power_W",
+        )
+        .run()
     )
-    result = sweep.run()
     print(result.format())
 
 
@@ -72,28 +75,31 @@ def parallel_design_grid() -> None:
 
     Every finished candidate is appended to a checkpoint CSV (in the
     current directory), so rerunning after an interruption resumes instead
-    of restarting; the fast solver profile (``relinearise_interval``)
-    trades a documented 10 % (typically few-percent) score tolerance for a
-    2-3x per-candidate speed-up.
+    of restarting; the fast solver profile (``RunOptions.fast()``) trades
+    a documented 10 % (typically few-percent) score tolerance for a 2-3x
+    per-candidate speed-up.
     """
-    scenario = charging_scenario(duration_s=0.2)
-    sweep = ParameterSweep(
-        scenario,
-        {
-            "excitation_frequency_hz": [66.0, 69.0, 72.0, 75.0],
-            "excitation_amplitude_ms2": [0.3, 0.45, 0.59, 0.75],
-        },
-        metric=average_power_metric,
-        metric_name="average_power_W",
-    )
     checkpoint = Path("design_grid_checkpoint.csv")
-    result = sweep.run(
+    options = RunOptions.fast(
+        relinearise_interval=4,
         n_workers=4,
         checkpoint_path=str(checkpoint),
-        relinearise_interval=4,
         progress=lambda done, total, best: print(
             format_sweep_progress(done, total, best.score, best.parameters)
         ),
+    )
+    result = (
+        Study.scenario(charging_scenario(duration_s=0.2))
+        .options(options)
+        .sweep(
+            {
+                "excitation_frequency_hz": [66.0, 69.0, 72.0, 75.0],
+                "excitation_amplitude_ms2": [0.3, 0.45, 0.59, 0.75],
+            },
+            metric=average_power_metric,
+            metric_name="average_power_W",
+        )
+        .run()
     )
     print()
     print(result.format())
@@ -109,7 +115,7 @@ def batched_design_grid(smoke: bool = False) -> None:
     """The same design grid on the batched lane-parallel backend.
 
     All candidates share the charging topology and carry no digital
-    events, so ``backend="batched"`` marches them as lanes of stacked
+    events, so ``RunOptions.batched()`` marches them as lanes of stacked
     ``(B, n, n)`` arrays — one linearise/eliminate/march NumPy sweep per
     step for the whole grid.  With adaptive stepping the lanes share the
     most conservative step (documented 10 % score tolerance, measured far
@@ -128,13 +134,12 @@ def batched_design_grid(smoke: bool = False) -> None:
             "excitation_amplitude_ms2": [0.3, 0.45, 0.59, 0.75],
         }
         scenario = charging_scenario(duration_s=0.2)
-    sweep = ParameterSweep(
-        scenario,
-        grid,
-        metric=average_power_metric,
-        metric_name="average_power_W",
+    result = (
+        Study.scenario(scenario)
+        .options(RunOptions.batched())
+        .sweep(grid, metric=average_power_metric, metric_name="average_power_W")
+        .run()
     )
-    result = sweep.run(backend="batched")
     print(result.format())
     info = result.engine_info
     print(

@@ -16,7 +16,7 @@ Run with::
 
 import argparse
 
-from repro import run_proposed
+from repro import Study
 from repro.analysis import average_power
 from repro.harvester.topologies import electrostatic_scenario
 from repro.io import format_key_values
@@ -39,24 +39,24 @@ def main() -> None:
     )
 
     print(f"simulating {scenario.duration_s} s ...")
-    result = run_proposed(scenario)
+    run = Study.scenario(scenario).run()
 
-    power = result["generator_power"]
-    z = result["generator.z"]
+    power = run["generator_power"]
+    z = run["generator.z"]
     summary = {
-        "solver": result.stats.solver_name,
-        "CPU time [s]": f"{result.stats.cpu_time_s:.2f}",
-        "accepted steps": result.stats.n_accepted_steps,
+        "solver": run.stats.solver_name,
+        "CPU time [s]": f"{run.stats.cpu_time_s:.2f}",
+        "accepted steps": run.stats.n_accepted_steps,
         "average harvested power [nW]": f"{average_power(power) * 1e9:.1f}",
         "proof-mass travel [um]": (
             f"{z.values.min() * 1e6:.1f} .. {z.values.max() * 1e6:.1f}"
         ),
-        "plate terminal voltage [V]": f"{result['generator_voltage'].final():.3f}",
-        "supercapacitor voltage [uV]": f"{result['storage_voltage'].final() * 1e6:.2f}",
+        "plate terminal voltage [V]": f"{run['generator_voltage'].final():.3f}",
+        "supercapacitor voltage [uV]": f"{run['storage_voltage'].final() * 1e6:.2f}",
     }
     print(format_key_values(summary, title="electrostatic harvester summary"))
 
-    assert result["storage_voltage"].final() > 0.0, "the store did not charge"
+    assert run["storage_voltage"].final() > 0.0, "the store did not charge"
     print("\nOK — the electrostatic system (finite-difference Jacobians) charges its store")
 
 

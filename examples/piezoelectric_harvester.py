@@ -6,7 +6,7 @@ model equations of each component block."  This example demonstrates that
 the declarative system-description layer reduces the remaining work to a
 spec: the piezoelectric block drops into the same Dickson-multiplier +
 supercapacitor power chain the paper's electromagnetic device uses, and
-the same fast solver runs it.
+the same fast solver runs it through the ``Study`` facade.
 
 Run with::
 
@@ -16,7 +16,7 @@ Run with::
 
 import argparse
 
-from repro import run_proposed
+from repro import Study
 from repro.analysis import average_power
 from repro.harvester.topologies import piezoelectric_scenario
 from repro.io import format_key_values, save_spec
@@ -46,20 +46,20 @@ def main() -> None:
         print(f"spec written to {save_spec(spec, args.export_spec)}")
 
     print(f"simulating {scenario.duration_s} s ...")
-    result = run_proposed(scenario)
+    run = Study.scenario(scenario).run()
 
-    power = result["generator_power"]
+    power = run["generator_power"]
     summary = {
-        "solver": result.stats.solver_name,
-        "CPU time [s]": f"{result.stats.cpu_time_s:.2f}",
-        "accepted steps": result.stats.n_accepted_steps,
+        "solver": run.stats.solver_name,
+        "CPU time [s]": f"{run.stats.cpu_time_s:.2f}",
+        "accepted steps": run.stats.n_accepted_steps,
         "average harvested power [uW]": f"{average_power(power) * 1e6:.2f}",
-        "piezo terminal voltage [V]": f"{result['generator_voltage'].final():.3f}",
-        "supercapacitor voltage [mV]": f"{result['storage_voltage'].final() * 1e3:.3f}",
+        "piezo terminal voltage [V]": f"{run['generator_voltage'].final():.3f}",
+        "supercapacitor voltage [mV]": f"{run['storage_voltage'].final() * 1e3:.3f}",
     }
     print(format_key_values(summary, title="piezoelectric harvester summary"))
 
-    final_voltage = result["storage_voltage"].final()
+    final_voltage = run["storage_voltage"].final()
     assert final_voltage > 0.0, "the store did not charge"
     print(f"\nOK — the piezoelectric system charges its store ({final_voltage * 1e3:.3f} mV)")
 

@@ -2,45 +2,56 @@
 
 Builds the paper's case-study system (electromagnetic microgenerator,
 5-stage Dickson voltage multiplier, supercapacitor + equivalent load,
-digital tuning controller), runs the proposed linearised state-space
-solver for a short window and prints the headline quantities.
+digital tuning controller) through the ``Study`` facade, runs the proposed
+linearised state-space solver for a short window and prints the headline
+quantities.
 
 Run with::
 
     python examples/quickstart.py
+    python examples/quickstart.py --smoke   # CI: shorter simulated window
 """
 
-from repro import charging_scenario, run_proposed
+import argparse
+
+from repro import Study, charging_scenario
 from repro.analysis import average_power, rms_power
 from repro.io import format_key_values
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="short CI run (0.2 s simulated)"
+    )
+    args = parser.parse_args()
+
     # The charging scenario: harvester tuned to the 70 Hz ambient vibration,
     # supercapacitor initially empty, no digital activity (open loop).
-    scenario = charging_scenario(duration_s=1.0)
+    scenario = charging_scenario(duration_s=0.2 if args.smoke else 1.0)
     print(f"scenario: {scenario.description}")
     print(f"simulating {scenario.duration_s} s of operation ...")
 
-    result = run_proposed(scenario)
+    run = Study.scenario(scenario).run()
 
-    power = result["generator_power"]
+    t_lo, t_hi = (0.1, 0.2) if args.smoke else (0.5, 1.0)
+    power = run["generator_power"]
     summary = {
-        "solver": result.stats.solver_name,
-        "CPU time [s]": f"{result.stats.cpu_time_s:.2f}",
-        "accepted steps": result.stats.n_accepted_steps,
-        "largest step [ms]": f"{result.stats.max_step * 1e3:.3f}",
-        "average generator power [uW]": f"{average_power(power, 0.5, 1.0) * 1e6:.1f}",
-        "RMS generator power [uW]": f"{rms_power(power, 0.5, 1.0) * 1e6:.1f}",
-        "multiplier output voltage [V]": f"{result['multiplier.V5'].final():.4f}",
-        "supercapacitor voltage [V]": f"{result['storage_voltage'].final():.4f}",
+        "solver": run.stats.solver_name,
+        "CPU time [s]": f"{run.stats.cpu_time_s:.2f}",
+        "accepted steps": run.stats.n_accepted_steps,
+        "largest step [ms]": f"{run.stats.max_step * 1e3:.3f}",
+        "average generator power [uW]": f"{average_power(power, t_lo, t_hi) * 1e6:.1f}",
+        "RMS generator power [uW]": f"{rms_power(power, t_lo, t_hi) * 1e6:.1f}",
+        "multiplier output voltage [V]": f"{run['multiplier.V5'].final():.4f}",
+        "supercapacitor voltage [V]": f"{run['storage_voltage'].final():.4f}",
     }
     print(format_key_values(summary, title="simulation summary"))
 
     print()
     print("recorded traces:")
-    for name in result.trace_names():
-        print(f"  {name}  ({len(result[name])} samples)")
+    for name in run.trace_names():
+        print(f"  {name}  ({len(run[name])} samples)")
 
 
 if __name__ == "__main__":

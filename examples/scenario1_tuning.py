@@ -15,42 +15,41 @@ Run with::
 
 from pathlib import Path
 
-from repro import run_proposed, scenario_1
+from repro import Study, scenario_1
 from repro.analysis import power_before_after
-from repro.io import export_result, format_key_values
+from repro.io import format_key_values
 
 
 def main() -> None:
     scenario = scenario_1(duration_s=4.0, shift_time_s=0.5)
     print(f"scenario: {scenario.description}")
-    result = run_proposed(scenario)
+    run = Study.scenario(scenario).run()
 
     print()
     print("microcontroller event log (Fig. 7 behaviour):")
-    for event_time, message in result.metadata.get("controller_events", []):
+    for event_time, message in run.metadata.get("controller_events", []):
         print(f"  t={event_time:7.3f} s  {message}")
 
     # RMS generator power before the frequency shift and after the retune
     before, after = power_before_after(
-        result["generator_power"],
+        run["generator_power"],
         event_time=0.5,
         window_s=0.3,
         settle_s=2.0,
     )
     summary = {
-        "tunings completed": result.metadata.get("n_tunings_completed", 0),
-        "resonant frequency at end [Hz]": f"{result['resonant_frequency'].final():.2f}",
+        "tunings completed": run.metadata.get("n_tunings_completed", 0),
+        "resonant frequency at end [Hz]": f"{run['resonant_frequency'].final():.2f}",
         "RMS power tuned at 70 Hz [uW]": f"{before * 1e6:.1f}",
         "RMS power tuned at 71 Hz [uW]": f"{after * 1e6:.1f}",
-        "supercapacitor voltage at end [V]": f"{result['storage_voltage'].final():.3f}",
-        "CPU time [s]": f"{result.stats.cpu_time_s:.2f}",
+        "supercapacitor voltage at end [V]": f"{run['storage_voltage'].final():.3f}",
+        "CPU time [s]": f"{run.stats.cpu_time_s:.2f}",
     }
     print()
     print(format_key_values(summary, title="Scenario 1 summary (compare with Fig. 8)"))
 
     output = Path(__file__).resolve().parent / "scenario1_traces.csv"
-    export_result(
-        result,
+    run.export_csv(
         output,
         trace_names=[
             "generator_power",

@@ -28,7 +28,7 @@ Run with::
 
 import argparse
 
-from repro import ParameterSweep, generator_variants
+from repro import RunOptions, Study, generator_variants
 from repro.analysis import average_power_metric, format_sweep_value
 from repro.harvester.topologies import piezoelectric_scenario
 
@@ -51,26 +51,29 @@ def main() -> None:
     base = piezoelectric_scenario(
         duration_s=duration_s, excitation_frequency_hz=AMBIENT_HZ
     )
-    sweep = ParameterSweep(
-        base,
-        {
-            "generator": [
-                variants["electromagnetic"],
-                variants["piezoelectric"],
-                variants["electrostatic"],
-            ],
-            "excitation_amplitude_ms2": amplitudes,
-        },
-        metric=average_power_metric,
-        metric_name="average_power_W",
-    )
     n_workers = 1 if args.smoke else 3
     print(
         f"sweeping {3 * len(amplitudes)} candidates "
         f"(3 topologies x {len(amplitudes)} amplitudes, "
         f"{duration_s:g} s each, {n_workers} worker(s)) ..."
     )
-    result = sweep.run(n_workers=n_workers)
+    result = (
+        Study.scenario(base)
+        .options(RunOptions(n_workers=n_workers))
+        .sweep(
+            {
+                "generator": [
+                    variants["electromagnetic"],
+                    variants["piezoelectric"],
+                    variants["electrostatic"],
+                ],
+                "excitation_amplitude_ms2": amplitudes,
+            },
+            metric=average_power_metric,
+            metric_name="average_power_W",
+        )
+        .run()
+    )
 
     print()
     print(result.format())

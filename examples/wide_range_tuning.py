@@ -14,36 +14,35 @@ from pathlib import Path
 
 import numpy as np
 
-from repro import run_proposed, scenario_2
-from repro.io import export_result, format_key_values
+from repro import Study, scenario_2
+from repro.io import format_key_values
 
 
 def main() -> None:
     scenario = scenario_2(duration_s=5.0, shift_time_s=0.5)
     print(f"scenario: {scenario.description}")
-    result = run_proposed(scenario)
+    run = Study.scenario(scenario).run()
 
-    storage = result["storage_voltage"]
+    storage = run["storage_voltage"]
     dip = float(storage.values[0] - np.min(storage.values))
     summary = {
-        "tunings completed": result.metadata.get("n_tunings_completed", 0),
-        "resonant frequency at end [Hz]": f"{result['resonant_frequency'].final():.2f}",
+        "tunings completed": run.metadata.get("n_tunings_completed", 0),
+        "resonant frequency at end [Hz]": f"{run['resonant_frequency'].final():.2f}",
         "initial storage voltage [V]": f"{storage.values[0]:.3f}",
         "deepest storage dip [V]": f"{dip:.3f}",
         "final storage voltage [V]": f"{storage.final():.3f}",
-        "actuator gap at end [mm]": f"{result['actuator_gap'].final() * 1e3:.2f}",
-        "CPU time [s]": f"{result.stats.cpu_time_s:.2f}",
+        "actuator gap at end [mm]": f"{run['actuator_gap'].final() * 1e3:.2f}",
+        "CPU time [s]": f"{run.stats.cpu_time_s:.2f}",
     }
     print(format_key_values(summary, title="Scenario 2 summary (compare with Fig. 9)"))
 
     print()
     print("controller activity:")
-    for event_time, message in result.metadata.get("controller_events", []):
+    for event_time, message in run.metadata.get("controller_events", []):
         print(f"  t={event_time:7.3f} s  {message}")
 
     output = Path(__file__).resolve().parent / "scenario2_traces.csv"
-    export_result(
-        result,
+    run.export_csv(
         output,
         trace_names=["storage_voltage", "generator_power", "resonant_frequency"],
         n_samples=4000,

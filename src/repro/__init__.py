@@ -7,9 +7,12 @@ systems using a linearised state-space technique", DATE 2011.
 
 The package is organised as:
 
+* :mod:`repro.api` — the public entry layer: :class:`Study` /
+  :class:`RunOptions` and the execution planner every run, comparison
+  and sweep dispatches through;
 * :mod:`repro.core` — the fast simulation engine (block framework,
   linearisation, terminal-variable elimination, explicit integrators,
-  stability/step control, digital kernel);
+  stability/step control, digital kernel, batched lane-parallel solver);
 * :mod:`repro.blocks` — physical component models (microgenerator,
   Dickson multiplier, supercapacitor, microcontroller, actuator ...);
 * :mod:`repro.harvester` — the assembled complete system and the paper's
@@ -17,14 +20,30 @@ The package is organised as:
 * :mod:`repro.baselines` — the conventional solvers the paper compares
   against (Newton-Raphson implicit, SPICE-like MNA, scipy reference);
 * :mod:`repro.analysis` — power/energy metrics, frequency detection,
-  waveform comparison, CPU-time tables, design sweeps;
-* :mod:`repro.io` — CSV export and report formatting.
+  waveform comparison, CPU-time tables, design sweeps + the sweep engine;
+* :mod:`repro.io` — CSV export, spec files, checkpoints, reports.
 
 Quick start::
 
-    from repro import scenario_1, run_proposed
-    result = run_proposed(scenario_1(duration_s=2.0))
-    print(result["storage_voltage"].final())
+    from repro import Study, RunOptions, scenario_1, charging_scenario
+
+    # one run of the paper's Scenario 1 (1 Hz re-tune, Fig. 8)
+    run = Study.scenario(scenario_1(duration_s=2.0)).run()
+    print(run["storage_voltage"].final())
+    print(run.summary())
+
+    # a design grid on the batched lane-parallel backend
+    result = (
+        Study.scenario(charging_scenario(duration_s=0.2))
+        .options(RunOptions.batched(lane_width=16))
+        .sweep({"excitation_frequency_hz": [66.0, 70.0, 74.0]})
+        .run()
+    )
+    print(result.format())
+
+The historical entry points (``run_proposed``, ``ParameterSweep.run``,
+direct ``SweepEngine`` use) remain available as deprecation shims over
+the facade and return byte-identical results (DESIGN.md §4).
 """
 
 from .core import (
@@ -40,6 +59,7 @@ from .core import (
     RungeKutta2,
     RungeKutta4,
     SimulationResult,
+    SingularLaneError,
     SolverSettings,
     SystemAssembler,
     SystemBuilder,
@@ -47,7 +67,14 @@ from .core import (
     Trace,
     make_integrator,
 )
-from .analysis import ParameterSweep, SweepEngine, sweep_excitation_frequency
+from .analysis import (
+    EngineRunInfo,
+    ParameterSweep,
+    SweepEngine,
+    SweepPoint,
+    SweepResult,
+    sweep_excitation_frequency,
+)
 from .harvester import (
     HarvesterConfig,
     Scenario,
@@ -69,10 +96,24 @@ from .harvester import (
     scenario_1,
     scenario_2,
 )
+from .api import (
+    ComparisonResult,
+    RunHandle,
+    RunOptions,
+    Study,
+    StudyResult,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
+    # public API facade (the canonical entry layer)
+    "Study",
+    "RunOptions",
+    "RunHandle",
+    "StudyResult",
+    "ComparisonResult",
+    # core engine
     "BLOCK_REGISTRY",
     "AdamsBashforth",
     "AnalogueBlock",
@@ -85,15 +126,21 @@ __all__ = [
     "RungeKutta2",
     "RungeKutta4",
     "SimulationResult",
+    "SingularLaneError",
     "SolverSettings",
     "SystemAssembler",
     "SystemBuilder",
     "SystemSpec",
     "Trace",
     "make_integrator",
+    # analysis / sweeps
+    "EngineRunInfo",
     "ParameterSweep",
     "SweepEngine",
+    "SweepPoint",
+    "SweepResult",
     "sweep_excitation_frequency",
+    # harvester system + scenarios
     "HarvesterConfig",
     "Scenario",
     "SpecScenario",

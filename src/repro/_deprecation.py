@@ -1,0 +1,43 @@
+"""Warn-once machinery for the legacy entry-point deprecation shims.
+
+The facade contract (DESIGN.md §4) keeps every historical entry point
+working and byte-identical, but each one announces its replacement with a
+:class:`DeprecationWarning` — **exactly once per interpreter per entry
+point**, so sweeps that call a shim thousands of times do not flood the
+log.  This lives at the top of the package (rather than inside
+:mod:`repro.api`) so the shim sites in :mod:`repro.harvester` and
+:mod:`repro.analysis` can import it without creating an import cycle.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Set
+
+__all__ = ["warn_deprecated", "reset_deprecation_warnings"]
+
+#: entry points that have already warned in this interpreter
+_warned: Set[str] = set()
+
+
+def warn_deprecated(entry_point: str, replacement: str) -> None:
+    """Emit one :class:`DeprecationWarning` for ``entry_point``.
+
+    Subsequent calls for the same entry point are silent.  ``replacement``
+    names the :mod:`repro.api` spelling callers should migrate to.
+    """
+    if entry_point in _warned:
+        return
+    _warned.add(entry_point)
+    warnings.warn(
+        f"{entry_point} is deprecated; use {replacement} (see repro.api). "
+        "The legacy entry point remains a thin shim over the facade and "
+        "returns byte-identical results.",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def reset_deprecation_warnings() -> None:
+    """Forget which entry points have warned (test support)."""
+    _warned.clear()

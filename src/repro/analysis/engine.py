@@ -62,14 +62,15 @@ from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wai
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Sequence
 
+from .._deprecation import warn_deprecated
 from ..core.batch import BatchedSolver
 from ..core.elimination import AssemblyStructure
 from ..core.errors import ConfigurationError, StabilityError
 from ..harvester.scenarios import (
     Scenario,
+    _simulate_proposed,
     attach_run_metadata,
     prepare_assembly,
-    run_proposed,
     scenario_solver_settings,
 )
 from ..io.csvio import (
@@ -270,7 +271,7 @@ def _evaluate_task(task: _Task) -> _Outcome:
 
     exact_rerun = False
     try:
-        result = run_proposed(
+        result = _simulate_proposed(
             task.scenario,
             integrator=task.integrator,
             settings=settings,
@@ -281,7 +282,7 @@ def _evaluate_task(task: _Task) -> _Outcome:
             raise
         # the held linearisation destabilised this particular candidate:
         # fall back to the exact every-step profile for it
-        result = run_proposed(
+        result = _simulate_proposed(
             task.scenario,
             integrator=task.integrator,
             settings=replace(settings, relinearise_interval=1),
@@ -353,7 +354,16 @@ class SweepEngine:
         reuse_assembly: bool = True,
         backend: str = "process",
         lane_width: Optional[int] = None,
+        _facade: bool = False,
     ) -> None:
+        if not _facade:
+            # direct construction is deprecated: the repro.api facade
+            # (Study.sweep(...).run() / planner.execute_sweep) is the
+            # canonical path and builds the engine with _facade=True
+            warn_deprecated(
+                "direct SweepEngine use",
+                "Study.scenario(...).options(RunOptions(...)).sweep(...).run()",
+            )
         if n_workers is None:
             n_workers = os.cpu_count() or 1
         if n_workers < 1:
@@ -366,6 +376,13 @@ class SweepEngine:
             )
         if lane_width is not None and lane_width < 1:
             raise ConfigurationError("lane_width must be at least 1")
+        if lane_width is not None and backend != "batched":
+            raise ConfigurationError(
+                f"incoherent options: lane_width={lane_width} with "
+                f"backend={backend!r} — lane widths only apply to the "
+                "batched backend; drop lane_width or select "
+                "backend='batched'"
+            )
         self.n_workers = int(n_workers)
         self.checkpoint_path = checkpoint_path
         self.progress = progress

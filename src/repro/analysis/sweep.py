@@ -204,7 +204,8 @@ class ParameterSweep:
         relinearise_interval=None,
         backend: str = "process",
         lane_width=None,
-        **run_kwargs,
+        integrator=None,
+        settings=None,
     ) -> SweepResult:
         """Simulate every candidate with the fast solver and rank them.
 
@@ -215,23 +216,35 @@ class ParameterSweep:
         candidates in lock-step through stacked arrays
         (:class:`~repro.core.batch.BatchedSolver`, ``lane_width`` lanes per
         block);
-        ``checkpoint_path``/``progress``/``relinearise_interval`` are
-        forwarded to the :class:`~repro.analysis.engine.SweepEngine` (see
-        the module docstring).  Remaining keyword arguments
-        (``integrator=``, ``settings=``) are applied to every candidate's
-        simulation.
-        """
-        from .engine import SweepEngine
+        ``checkpoint_path``/``progress``/``relinearise_interval`` reach
+        the sweep engine; ``integrator``/``settings`` are applied to every
+        candidate's simulation.
 
-        engine = SweepEngine(
-            n_workers,
-            checkpoint_path=checkpoint_path,
-            progress=progress,
+        .. deprecated::
+            Use ``repro.Study.scenario(base).options(RunOptions(...))``
+            ``.sweep(axes).run()`` — this shim routes through the same
+            facade planner and returns the identical
+            :class:`SweepResult`.
+        """
+        from .._deprecation import warn_deprecated
+        from ..api.options import RunOptions
+        from ..api.planner import execute_sweep
+
+        warn_deprecated(
+            "ParameterSweep.run",
+            "Study.scenario(...).options(RunOptions(...)).sweep(...).run()",
+        )
+        options = RunOptions(
+            integrator=integrator,
+            settings=settings,
             relinearise_interval=relinearise_interval,
             backend=backend,
             lane_width=lane_width,
+            n_workers=n_workers,
+            checkpoint_path=checkpoint_path,
+            progress=progress,
         )
-        return engine.run(self, **run_kwargs)
+        return execute_sweep(self, options).result
 
 
 def _default_apply(config: HarvesterConfig, name: str, value: float) -> HarvesterConfig:
@@ -293,13 +306,18 @@ def sweep_excitation_frequency(
     resonant frequency.
 
     Keyword arguments (``n_workers=``, ``checkpoint_path=``, ``progress=``,
-    ``relinearise_interval=``, ``settings=``, ``integrator=``) are
-    forwarded to :meth:`ParameterSweep.run`.
+    ``relinearise_interval=``, ``settings=``, ``integrator=``) become
+    :class:`~repro.api.options.RunOptions` fields; execution routes
+    through the :mod:`repro.api` planner (no deprecation warning — this
+    convenience is maintained).
     """
+    from ..api.options import RunOptions
+    from ..api.planner import execute_sweep
+
     sweep = ParameterSweep(
         scenario,
         {"excitation_frequency_hz": list(frequencies_hz)},
         metric=metric,
         metric_name=metric_name,
     )
-    return sweep.run(**run_kwargs)
+    return execute_sweep(sweep, RunOptions(**run_kwargs)).result

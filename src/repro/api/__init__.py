@@ -1,0 +1,40 @@
+"""Public API facade: ``Study`` / ``RunOptions`` and typed results.
+
+This package is the canonical entry layer of the simulator — every
+caller (examples, benchmarks, future service endpoints) routes through
+it, and new backends or scenario families land here instead of growing
+another free-function entry point:
+
+* :class:`RunOptions` — every execution knob (integrator, solver
+  settings, relinearisation profile, backend, lane width, workers,
+  checkpointing, progress) in one validated dataclass, with named
+  profiles ``exact()`` / ``fast()`` / ``batched()``;
+* :class:`Study` — the fluent driver:
+  ``Study.scenario(...).options(...).sweep(...).run()`` dispatches single
+  runs, multi-solver comparisons and sweeps through one execution
+  planner (:mod:`repro.api.planner`);
+* :class:`RunHandle` / :class:`StudyResult` / :class:`ComparisonResult`
+  — typed result wrappers with uniform ``summary()`` / ``format()`` /
+  ``export_csv()``.
+
+The historical entry points (``run_proposed``, ``ParameterSweep.run``,
+direct ``SweepEngine`` construction) remain available as thin
+deprecation shims over this facade and return byte-identical results
+(see DESIGN.md §4 for the shim contract).
+"""
+
+from .options import BACKENDS, RunOptions
+from .planner import SOLVERS, ExecutionPlan
+from .results import ComparisonResult, RunHandle, StudyResult
+from .study import Study
+
+__all__ = [
+    "Study",
+    "RunOptions",
+    "RunHandle",
+    "StudyResult",
+    "ComparisonResult",
+    "ExecutionPlan",
+    "BACKENDS",
+    "SOLVERS",
+]

@@ -1,0 +1,267 @@
+"""The execution planner: one dispatch layer over every way to simulate.
+
+Everything the facade runs — single runs on any solver, multi-solver
+comparisons, parameter/topology sweeps on the scalar, process-parallel or
+batched backends — goes through the same two steps:
+
+1. :func:`plan` folds a :class:`~repro.api.study.Study` into an
+   :class:`ExecutionPlan`: a frozen, inspectable description of *what*
+   will run (kind, solver, scenario, sweep definition) and *how*
+   (validated :class:`~repro.api.options.RunOptions`).  Incoherent
+   requests (sweep-only knobs on a single run, an assembly structure on a
+   sweep, an unknown solver) are rejected here, before any simulation
+   starts.
+2. :func:`execute` carries the plan out and wraps the outcome in the
+   matching typed result (:class:`~repro.api.results.RunHandle`,
+   :class:`~repro.api.results.ComparisonResult` or
+   :class:`~repro.api.results.StudyResult`).
+
+The legacy entry points (``run_proposed``, ``ParameterSweep.run`` ...)
+are thin deprecation shims that build the same plans, which is what makes
+their results byte-identical to the facade path.  Future execution
+targets (async service, result caching, multi-node sharding) plug in
+here, not at the call sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace as dataclasses_replace
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..core.errors import ConfigurationError
+from ..harvester.scenarios import (
+    _simulate_baseline,
+    _simulate_proposed,
+    _simulate_reference,
+    scenario_solver_settings,
+)
+from .options import RunOptions
+from .results import ComparisonResult, RunHandle, StudyResult
+
+__all__ = ["ExecutionPlan", "SOLVERS", "plan", "execute", "execute_sweep"]
+
+#: solver families the planner can dispatch a scenario to
+SOLVERS = ("proposed", "baseline", "reference")
+
+#: plan kinds
+_KINDS = ("single", "compare", "sweep")
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """Frozen description of one facade execution, ready to run.
+
+    ``kind`` selects the dispatch: ``"single"`` (one scenario, one
+    solver), ``"compare"`` (one scenario, several solvers) or ``"sweep"``
+    (a candidate grid through the sweep engine).
+    """
+
+    kind: str
+    scenario: object
+    options: RunOptions
+    solver: str = "proposed"
+    solver_kwargs: Mapping[str, object] = field(default_factory=dict)
+    compare_solvers: Tuple[str, ...] = ()
+    sweep: Optional[object] = None  # a ParameterSweep when kind == "sweep"
+
+    def describe(self) -> str:
+        """One-line human-readable description of what will run."""
+        name = getattr(self.scenario, "name", "<scenario>")
+        if self.kind == "single":
+            return f"single run of {name!r} on the {self.solver} solver"
+        if self.kind == "compare":
+            return f"comparison of {name!r} across {', '.join(self.compare_solvers)}"
+        axes = " x ".join(
+            f"{param}[{len(values)}]"
+            for param, values in self.sweep.parameters.items()
+        )
+        return (
+            f"sweep of {name!r} over {axes} "
+            f"(backend={self.options.backend!r}, "
+            f"n_workers={self.options.n_workers})"
+        )
+
+
+# ---------------------------------------------------------------------- #
+# planning
+# ---------------------------------------------------------------------- #
+def plan(study) -> ExecutionPlan:
+    """Fold a study into a validated :class:`ExecutionPlan`.
+
+    ``RunOptions`` is frozen and validates its field values at
+    construction; planning only adds the dispatch-dependent coherence
+    checks (sweep-only knobs on a single run and vice versa).
+    """
+    options = study._options
+    if study._sweep is not None:
+        if study._compare_solvers:
+            raise ConfigurationError(
+                "incoherent study: sweep(...) with compare(...) — a sweep "
+                "always runs the proposed solver; drop one of the two"
+            )
+        if study._solver != "proposed":
+            raise ConfigurationError(
+                f"incoherent study: sweep(...) with solver={study._solver!r} "
+                "— sweeps run the proposed linearised state-space solver"
+            )
+        options.validate_for_sweep()
+        return ExecutionPlan(
+            kind="sweep",
+            scenario=study._scenario,
+            options=options,
+            sweep=study._sweep,
+        )
+    if study._compare_solvers:
+        for solver in study._compare_solvers:
+            _check_solver(solver)
+        options.validate_for_single_run()
+        return ExecutionPlan(
+            kind="compare",
+            scenario=study._scenario,
+            options=options,
+            compare_solvers=tuple(study._compare_solvers),
+            solver_kwargs=dict(study._solver_kwargs),
+        )
+    _check_solver(study._solver)
+    options.validate_for_single_run()
+    return ExecutionPlan(
+        kind="single",
+        scenario=study._scenario,
+        options=options,
+        solver=study._solver,
+        solver_kwargs=dict(study._solver_kwargs),
+    )
+
+
+def _check_solver(solver: str) -> None:
+    if solver not in SOLVERS:
+        raise ConfigurationError(
+            f"unknown solver {solver!r}; choose from {SOLVERS}"
+        )
+
+
+# ---------------------------------------------------------------------- #
+# execution
+# ---------------------------------------------------------------------- #
+def execute(plan_: ExecutionPlan):
+    """Carry out a plan; returns the matching typed result wrapper."""
+    if plan_.kind == "single":
+        return _execute_single(
+            plan_.scenario, plan_.options, plan_.solver, plan_.solver_kwargs
+        )
+    if plan_.kind == "compare":
+        # the proposed-only knobs (integrator/settings/...) configure the
+        # proposed leg; the other solver families run with their own
+        # defaults plus any explicit solver kwargs
+        stripped = plan_.options.replace(
+            integrator=None,
+            settings=None,
+            relinearise_interval=None,
+            assembly_structure=None,
+        )
+        handles: Dict[str, RunHandle] = {}
+        for solver in plan_.compare_solvers:
+            options = plan_.options if solver == "proposed" else stripped
+            kwargs = {} if solver == "proposed" else plan_.solver_kwargs
+            handles[solver] = _execute_single(
+                plan_.scenario, options, solver, kwargs
+            )
+        return ComparisonResult(handles)
+    if plan_.kind == "sweep":
+        return execute_sweep(plan_.sweep, plan_.options)
+    raise ConfigurationError(f"unknown plan kind {plan_.kind!r}")  # pragma: no cover
+
+
+def _execute_single(
+    scenario, options: RunOptions, solver: str, solver_kwargs: Mapping[str, object]
+) -> RunHandle:
+    """One scenario on one solver family."""
+    if solver == "proposed":
+        if solver_kwargs:
+            # Study.solver rejects this eagerly; guard the direct path too
+            raise ConfigurationError(
+                "incoherent options: solver keyword arguments "
+                f"{sorted(solver_kwargs)} with solver='proposed' — use "
+                "RunOptions(integrator=..., settings=...) instead"
+            )
+        settings = options.settings
+        interval = options.relinearise_interval
+        if interval is not None and int(interval) > 1:
+            # overlay the fast profile exactly as the sweep engine does
+            if settings is None:
+                settings = scenario_solver_settings(scenario)
+            settings = dataclasses_replace(
+                settings, relinearise_interval=int(interval)
+            )
+        result = _simulate_proposed(
+            scenario,
+            integrator=options.integrator,
+            settings=settings,
+            assembly_structure=options.assembly_structure,
+        )
+    elif solver == "baseline":
+        _reject_proposed_only_options(options, solver)
+        result = _simulate_baseline(scenario, **dict(solver_kwargs))
+    else:  # reference — _check_solver already validated the name
+        _reject_proposed_only_options(options, solver)
+        unknown = sorted(set(solver_kwargs) - {"settings"})
+        if unknown:
+            raise ConfigurationError(
+                f"unknown keyword arguments {unknown} for the reference "
+                "solver; it takes settings=ReferenceSolverSettings(...) only"
+            )
+        result = _simulate_reference(
+            scenario, settings=dict(solver_kwargs).get("settings")
+        )
+    return RunHandle(result, scenario=scenario)
+
+
+def _reject_proposed_only_options(options: RunOptions, solver: str) -> None:
+    """The baseline solvers take their own settings via ``solver_kwargs``.
+
+    Silently dropping the proposed solver's knobs would misreport what
+    ran, so combining them with another solver family is rejected by
+    name.
+    """
+    for knob, value in (
+        ("integrator", options.integrator),
+        ("settings", options.settings),
+        ("relinearise_interval", options.relinearise_interval),
+        ("assembly_structure", options.assembly_structure),
+    ):
+        if value is not None:
+            raise ConfigurationError(
+                f"incoherent options: {knob} with solver={solver!r} — this "
+                "knob configures the proposed linearised state-space "
+                "solver; pass baseline/reference settings through "
+                "Study.solver(name, ...) keyword arguments instead"
+            )
+
+
+def execute_sweep(sweep, options: RunOptions) -> StudyResult:
+    """A candidate grid through the sweep engine (no deprecation warning).
+
+    This is the one place a :class:`~repro.analysis.engine.SweepEngine`
+    is constructed on behalf of the facade; both ``Study.sweep(...).run()``
+    and the legacy ``ParameterSweep.run`` shim land here, which is what
+    keeps their results byte-identical.
+    """
+    from ..analysis.engine import SweepEngine
+
+    # guard the direct entry path (the ParameterSweep.run shim); the
+    # facade path already checked this at plan time
+    options.validate_for_sweep()
+    engine = SweepEngine(
+        options.n_workers,
+        checkpoint_path=options.checkpoint_path,
+        progress=options.progress,
+        relinearise_interval=options.relinearise_interval,
+        reuse_assembly=options.reuse_assembly,
+        backend=options.backend,
+        lane_width=options.lane_width,
+        _facade=True,
+    )
+    sweep_result = engine.run(
+        sweep, integrator=options.integrator, settings=options.settings
+    )
+    return StudyResult(sweep_result)

@@ -9,6 +9,13 @@
   stand-in for OrCAD/PSPICE.
 * :class:`ReferenceSolver` — scipy high-accuracy integration of the same
   model; stand-in for the experimental measurements of Figs. 8-9.
+
+Callers select these by family name through the :mod:`repro.api` facade
+— ``Study.scenario(...).solver("baseline").run()`` /
+``.solver("reference")`` / ``.compare("proposed", "baseline")`` — whose
+execution planner dispatches onto the scenario runners.  The legacy free
+functions (:func:`repro.harvester.scenarios.run_baseline` /
+``run_reference``) are deprecation shims over that path.
 """
 
 from .implicit_solver import ImplicitNewtonSolver, ImplicitSolverSettings

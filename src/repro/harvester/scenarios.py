@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence
 
+from .._deprecation import warn_deprecated
 from ..blocks.microcontroller import ControllerSettings
 from ..blocks.vibration import FrequencyStep, VibrationSource
 from ..core.elimination import AssemblyStructure
@@ -291,6 +292,51 @@ def attach_run_metadata(
     return result
 
 
+def _simulate_proposed(
+    scenario: Scenario,
+    integrator: Optional[ExplicitIntegrator] = None,
+    settings: Optional[SolverSettings] = None,
+    *,
+    assembly_structure: Optional[AssemblyStructure] = None,
+) -> SimulationResult:
+    """Execution primitive: one scenario on the proposed solver.
+
+    Canonical implementation behind the :mod:`repro.api` planner, the
+    sweep engine's scalar path and the :func:`run_proposed` shim.
+    """
+    harvester = scenario.build_harvester(assembly_structure=assembly_structure)
+    if settings is None:
+        settings = scenario_solver_settings(scenario)
+    solver = harvester.build_solver(integrator=integrator, settings=settings)
+    result = solver.run(scenario.duration_s)
+    return attach_run_metadata(result, scenario, harvester)
+
+
+def _simulate_baseline(scenario: Scenario, **solver_kwargs) -> SimulationResult:
+    """Execution primitive: one scenario on the Newton-Raphson baseline."""
+    harvester = scenario.build_harvester()
+    solver = harvester.build_baseline_solver(**solver_kwargs)
+    result = solver.run(scenario.duration_s)
+    return attach_run_metadata(result, scenario, harvester)
+
+
+def _simulate_reference(scenario: Scenario, settings=None) -> SimulationResult:
+    """Execution primitive: one scenario on the scipy reference solver."""
+    from ..baselines.reference import ReferenceSolver
+
+    harvester = scenario.build_harvester()
+    kernel = harvester._build_kernel()
+    solver = ReferenceSolver(
+        assembler=harvester.assembler, settings=settings, digital_kernel=kernel
+    )
+    harvester._wire(solver)
+    result = solver.run(scenario.duration_s)
+    return attach_run_metadata(result, scenario, harvester)
+
+
+# ---------------------------------------------------------------------- #
+# deprecated entry points (thin shims over the repro.api facade)
+# ---------------------------------------------------------------------- #
 def run_proposed(
     scenario: Scenario,
     integrator: Optional[ExplicitIntegrator] = None,
@@ -303,32 +349,48 @@ def run_proposed(
     Accepts both the paper's :class:`Scenario` and spec-backed
     :class:`~repro.harvester.topologies.SpecScenario` instances — anything
     providing ``build_harvester``/``duration_s``/``name``.
+
+    .. deprecated::
+        Use ``repro.Study.scenario(scenario).run()`` — this shim routes
+        through the facade and returns the identical
+        :class:`SimulationResult`.
     """
-    harvester = scenario.build_harvester(assembly_structure=assembly_structure)
-    if settings is None:
-        settings = scenario_solver_settings(scenario)
-    solver = harvester.build_solver(integrator=integrator, settings=settings)
-    result = solver.run(scenario.duration_s)
-    return attach_run_metadata(result, scenario, harvester)
+    warn_deprecated("run_proposed", "Study.scenario(...).run()")
+    from ..api import RunOptions, Study
+
+    options = RunOptions(
+        integrator=integrator,
+        settings=settings,
+        assembly_structure=assembly_structure,
+    )
+    return Study.scenario(scenario).options(options).run().result
 
 
 def run_baseline(scenario: Scenario, **solver_kwargs) -> SimulationResult:
-    """Simulate a scenario with the Newton-Raphson implicit baseline."""
-    harvester = scenario.build_harvester()
-    solver = harvester.build_baseline_solver(**solver_kwargs)
-    result = solver.run(scenario.duration_s)
-    return attach_run_metadata(result, scenario, harvester)
+    """Simulate a scenario with the Newton-Raphson implicit baseline.
+
+    .. deprecated::
+        Use ``repro.Study.scenario(scenario).solver("baseline", ...).run()``.
+    """
+    warn_deprecated(
+        "run_baseline", 'Study.scenario(...).solver("baseline", ...).run()'
+    )
+    from ..api import Study
+
+    return Study.scenario(scenario).solver("baseline", **solver_kwargs).run().result
 
 
 def run_reference(scenario: Scenario, settings=None) -> SimulationResult:
-    """Simulate a scenario with the scipy reference solver (measurement stand-in)."""
-    from ..baselines.reference import ReferenceSolver
+    """Simulate a scenario with the scipy reference solver (measurement stand-in).
 
-    harvester = scenario.build_harvester()
-    kernel = harvester._build_kernel()
-    solver = ReferenceSolver(
-        assembler=harvester.assembler, settings=settings, digital_kernel=kernel
+    .. deprecated::
+        Use ``repro.Study.scenario(scenario).solver("reference", ...).run()``.
+    """
+    warn_deprecated(
+        "run_reference", 'Study.scenario(...).solver("reference", ...).run()'
     )
-    harvester._wire(solver)
-    result = solver.run(scenario.duration_s)
-    return attach_run_metadata(result, scenario, harvester)
+    from ..api import Study
+
+    return (
+        Study.scenario(scenario).solver("reference", settings=settings).run().result
+    )

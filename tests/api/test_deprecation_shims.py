@@ -1,0 +1,156 @@
+"""The shim contract: each legacy entry point warns exactly once and
+returns results byte-identical to the facade path (DESIGN.md §4)."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import (
+    ParameterSweep,
+    RunOptions,
+    Study,
+    SweepEngine,
+    charging_scenario,
+)
+from repro._deprecation import reset_deprecation_warnings
+from repro.baselines import ImplicitSolverSettings, ReferenceSolverSettings
+from repro.harvester.scenarios import run_baseline, run_proposed, run_reference
+
+DURATION_S = 0.03
+GRID = {"excitation_frequency_hz": [68.0, 70.0]}
+
+
+def scenario():
+    return charging_scenario(duration_s=DURATION_S)
+
+
+@pytest.fixture(autouse=True)
+def fresh_warning_registry():
+    reset_deprecation_warnings()
+    yield
+    reset_deprecation_warnings()
+
+
+def collect_deprecations(fn):
+    """Run ``fn`` and return the DeprecationWarnings it emitted."""
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        value = fn()
+    return value, [
+        w for w in caught if issubclass(w.category, DeprecationWarning)
+    ]
+
+
+def assert_traces_identical(legacy, facade_handle):
+    for name in legacy.trace_names():
+        assert np.array_equal(
+            legacy[name].values, facade_handle[name].values
+        ), f"trace {name!r} differs between shim and facade"
+        assert np.array_equal(legacy[name].times, facade_handle[name].times)
+
+
+class TestWarnOnce:
+    def test_run_proposed_warns_exactly_once(self):
+        _, first = collect_deprecations(lambda: run_proposed(scenario()))
+        _, second = collect_deprecations(lambda: run_proposed(scenario()))
+        assert len(first) == 1
+        assert "Study.scenario" in str(first[0].message)
+        assert len(second) == 0
+
+    def test_parameter_sweep_run_warns_exactly_once(self):
+        sweep = ParameterSweep(scenario(), GRID)
+        _, first = collect_deprecations(sweep.run)
+        _, second = collect_deprecations(sweep.run)
+        assert len(first) == 1
+        assert len(second) == 0
+
+    def test_direct_sweep_engine_use_warns_exactly_once(self):
+        _, first = collect_deprecations(lambda: SweepEngine(1))
+        _, second = collect_deprecations(lambda: SweepEngine(1))
+        assert len(first) == 1
+        assert "SweepEngine" in str(first[0].message)
+        assert len(second) == 0
+
+    def test_each_entry_point_warns_independently(self):
+        _, a = collect_deprecations(lambda: run_proposed(scenario()))
+        _, b = collect_deprecations(lambda: ParameterSweep(scenario(), GRID).run())
+        _, c = collect_deprecations(lambda: SweepEngine(1))
+        assert [len(a), len(b), len(c)] == [1, 1, 1]
+
+    def test_facade_paths_do_not_warn(self):
+        def facade():
+            Study.scenario(scenario()).run()
+            Study.scenario(scenario()).sweep(GRID).run()
+
+        _, caught = collect_deprecations(facade)
+        assert caught == []
+
+
+class TestByteIdentical:
+    def test_run_proposed_matches_facade(self):
+        legacy, _ = collect_deprecations(lambda: run_proposed(scenario()))
+        facade = Study.scenario(scenario()).run()
+        assert_traces_identical(legacy, facade)
+
+    def test_run_baseline_matches_facade(self):
+        settings = ImplicitSolverSettings(step_size=5e-4, record_interval=1e-3)
+        legacy, caught = collect_deprecations(
+            lambda: run_baseline(scenario(), settings=settings)
+        )
+        assert len(caught) == 1
+        facade = (
+            Study.scenario(scenario())
+            .solver("baseline", settings=settings)
+            .run()
+        )
+        assert_traces_identical(legacy, facade)
+
+    def test_run_reference_matches_facade(self):
+        settings = ReferenceSolverSettings(record_interval=2e-3)
+        legacy, caught = collect_deprecations(
+            lambda: run_reference(scenario(), settings=settings)
+        )
+        assert len(caught) == 1
+        facade = (
+            Study.scenario(scenario())
+            .solver("reference", settings=settings)
+            .run()
+        )
+        assert_traces_identical(legacy, facade)
+
+    def test_parameter_sweep_run_matches_facade(self):
+        sweep = ParameterSweep(scenario(), GRID)
+        legacy, _ = collect_deprecations(sweep.run)
+        facade = Study.scenario(scenario()).sweep(GRID).run()
+        assert [p.score for p in legacy.points] == [
+            p.score for p in facade.points
+        ]
+        assert [dict(p.parameters) for p in legacy.points] == [
+            dict(p.parameters) for p in facade.points
+        ]
+
+    def test_direct_engine_matches_facade_batched(self):
+        sweep = ParameterSweep(scenario(), GRID)
+        engine, _ = collect_deprecations(
+            lambda: SweepEngine(1, backend="batched").run(sweep)
+        )
+        facade = (
+            Study.scenario(scenario())
+            .options(RunOptions.batched())
+            .sweep(GRID)
+            .run()
+        )
+        assert [p.score for p in engine.points] == [
+            p.score for p in facade.points
+        ]
+
+
+class TestEngineValidation:
+    def test_engine_rejects_lane_width_with_process_backend(self):
+        from repro.core.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError) as excinfo:
+            SweepEngine(1, lane_width=4)
+        message = str(excinfo.value)
+        assert "lane_width=4" in message and "process" in message

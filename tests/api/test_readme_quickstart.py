@@ -1,0 +1,29 @@
+"""The README quick-start must run verbatim (doctest-style).
+
+Extracts every fenced ``python`` block in the README's "## Quickstart"
+section and executes it in one shared namespace.  CI additionally runs
+this extraction on a clean install (the api-smoke job), so the first code
+a new user copies can never silently rot.
+"""
+
+import re
+from pathlib import Path
+
+README = Path(__file__).resolve().parents[2] / "README.md"
+
+
+def quickstart_blocks():
+    text = README.read_text()
+    match = re.search(r"^## Quickstart$(.*?)(?=^## )", text, re.M | re.S)
+    assert match, "README.md has no '## Quickstart' section"
+    blocks = re.findall(r"```python\n(.*?)```", match.group(1), re.S)
+    assert blocks, "the Quickstart section has no ```python blocks"
+    return blocks
+
+
+def test_quickstart_runs_verbatim(capsys):
+    namespace = {}
+    for block in quickstart_blocks():
+        exec(compile(block, str(README), "exec"), namespace)
+    # the quick start prints the headline quantities; make sure it did
+    assert capsys.readouterr().out.strip()
