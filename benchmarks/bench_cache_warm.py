@@ -1,0 +1,143 @@
+"""Warm-cache speed-up: a 64-candidate sweep grid, cold vs warm.
+
+PR 5's acceptance number: with ``RunOptions(cache="readwrite")`` the
+second (warm) execution of a 64-candidate sweep grid must complete at
+least **10x** faster than the cold run, because every per-candidate
+score is served from the content-addressed result store instead of being
+re-simulated — and the warm scores must be *identical* to both the cold
+run and a cache-off run (cache hits never change results, they only skip
+work).
+
+Writes ``BENCH_cache.json`` (machine-readable, tracked across PRs and
+uploaded by the CI ``cli-smoke`` job) and
+``benchmarks/results/cache_warm.txt``.
+
+Run via pytest or directly::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_cache_warm.py -q
+    PYTHONPATH=src python benchmarks/bench_cache_warm.py [--quick]
+"""
+
+import argparse
+import json
+import tempfile
+import time
+from pathlib import Path
+
+from repro import RunOptions, Study, charging_scenario
+from repro.cache import ResultStore
+from repro.io.report import format_table
+
+#: required cold/warm wall-clock ratio (the PR-5 acceptance number)
+MIN_WARM_SPEEDUP = 10.0
+
+JSON_PATH = Path("BENCH_cache.json")
+
+#: 8 x 8 = 64 candidates around the paper's 70 Hz operating point
+GRID = {
+    "excitation_frequency_hz": [64.0 + i for i in range(8)],
+    "excitation_amplitude_ms2": [0.30 + 0.05 * i for i in range(8)],
+}
+
+
+def _study(duration_s: float, options: RunOptions):
+    return (
+        Study.scenario(charging_scenario(duration_s=duration_s))
+        .options(options)
+        .sweep(GRID)
+    )
+
+
+def run_benchmark(*, duration_s: float = 0.05, assert_speedup: bool = True):
+    n_candidates = len(GRID["excitation_frequency_hz"]) * len(
+        GRID["excitation_amplitude_ms2"]
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache") as cache_dir:
+        cached = RunOptions(cache="readwrite", cache_dir=cache_dir)
+
+        # reference run with the cache off: the scores hits must reproduce
+        reference = _study(duration_s, RunOptions()).run()
+
+        t0 = time.perf_counter()
+        cold = _study(duration_s, cached).run()
+        t_cold = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        warm = _study(duration_s, cached).run()
+        t_warm = time.perf_counter() - t0
+
+        store_stats = ResultStore(cache_dir).stats()
+
+    assert cold.engine_info.n_cache_hits == 0
+    assert warm.engine_info.n_cache_hits == n_candidates
+    reference_scores = [point.score for point in reference.points]
+    assert [point.score for point in cold.points] == reference_scores, (
+        "cold readwrite run diverged from the cache-off run"
+    )
+    assert [point.score for point in warm.points] == reference_scores, (
+        "warm cache-served scores diverged from the cache-off run"
+    )
+
+    speedup = t_cold / t_warm if t_warm > 0 else float("inf")
+    data = {
+        "benchmark": "cache_warm",
+        "n_candidates": n_candidates,
+        "duration_s": duration_s,
+        "cold_wall_s": t_cold,
+        "warm_wall_s": t_warm,
+        "warm_speedup": speedup,
+        "min_required_speedup": MIN_WARM_SPEEDUP,
+        "warm_cache_hits": warm.engine_info.n_cache_hits,
+        "scores_identical_to_cache_off": True,
+        "store_entries": store_stats["n_entries"],
+        "store_bytes": store_stats["total_bytes"],
+    }
+    JSON_PATH.write_text(json.dumps(data, indent=2) + "\n")
+
+    report = format_table(
+        ["run", "wall [s]", "cache hits"],
+        [
+            ["cache off (reference)", "-", "-"],
+            ["cold readwrite", f"{t_cold:.3f}", "0"],
+            ["warm readwrite", f"{t_warm:.3f}", f"{n_candidates}"],
+        ],
+        title=(
+            f"warm-cache sweep — {n_candidates} candidates x {duration_s:g} s, "
+            f"warm speed-up {speedup:.0f}x "
+            f"(required >= {MIN_WARM_SPEEDUP:.0f}x), scores identical"
+        ),
+    )
+
+    if assert_speedup:
+        assert speedup >= MIN_WARM_SPEEDUP, (
+            f"warm cache rerun is only {speedup:.1f}x faster than cold; "
+            f"the acceptance bound is {MIN_WARM_SPEEDUP:.0f}x"
+        )
+    return report, data
+
+
+def test_cache_warm_speedup(report_writer):
+    report, _data = run_benchmark()
+    report_writer("cache_warm", report)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=(
+            "shorter per-candidate simulations (CI smoke); the grid stays "
+            "at 64 candidates and the 10x bound is still asserted — warm "
+            "runs are pure store reads, so the ratio holds even for small "
+            "cold runs"
+        ),
+    )
+    args = parser.parse_args()
+    report, data = run_benchmark(duration_s=0.02 if args.quick else 0.05)
+    print(report)
+    print(f"\nwritten: {JSON_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -13,8 +13,9 @@ Run with::
 """
 
 import argparse
+from pathlib import Path
 
-from repro import Study, charging_scenario
+from repro import Study, charging_scenario, load_experiment
 from repro.analysis import average_power, rms_power
 from repro.io import format_key_values
 
@@ -52,6 +53,32 @@ def main() -> None:
     print("recorded traces:")
     for name in run.trace_names():
         print(f"  {name}  ({len(run[name])} samples)")
+
+    # The whole experiment is also data — the 3-line declarative
+    # equivalent of everything above (runnable as
+    # `repro run examples/experiments/quickstart.toml`):
+    #
+    #     spec = load_experiment("examples/experiments/quickstart.toml")
+    #     run = Study.from_spec(spec).run()
+    #     print(run["storage_voltage"].final())
+    #
+    spec = load_experiment(
+        str(Path(__file__).parent / "experiments" / "quickstart.toml")
+    )
+    declarative = Study.from_spec(spec).run()
+    print()
+    print(
+        f"declarative twin (content hash {spec.content_hash()[:12]}): "
+        f"storage voltage {declarative['storage_voltage'].final():.6g} V "
+        f"after {spec.scenario.duration_s} s"
+    )
+    if scenario.duration_s == spec.scenario.duration_s:
+        # in --smoke mode the fluent study above runs the identical
+        # experiment; the declarative form must reproduce it exactly
+        assert (
+            declarative["storage_voltage"].final()
+            == run["storage_voltage"].final()
+        ), "declarative run diverged from the fluent study"
 
 
 if __name__ == "__main__":

@@ -98,11 +98,14 @@ from .harvester import (
 )
 from .api import (
     ComparisonResult,
+    ExperimentSpec,
     RunHandle,
     RunOptions,
     Study,
     StudyResult,
 )
+from .cache import ResultStore
+from .io import load_experiment, save_experiment
 
 __version__ = "1.0.0"
 
@@ -113,6 +116,11 @@ __all__ = [
     "RunHandle",
     "StudyResult",
     "ComparisonResult",
+    # declarative experiments + result cache
+    "ExperimentSpec",
+    "ResultStore",
+    "load_experiment",
+    "save_experiment",
     # core engine
     "BLOCK_REGISTRY",
     "AdamsBashforth",

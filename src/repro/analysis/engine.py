@@ -102,6 +102,10 @@ class EngineRunInfo:
     parallel: bool
     relinearise_interval: Optional[int]
     backend: str = "process"
+    #: candidates served from the content-addressed result cache
+    n_cache_hits: int = 0
+    #: the engine's cache mode this run ("off" | "read" | "readwrite")
+    cache: str = "off"
     #: lane blocks *planned* for batched marching (before runtime fallbacks)
     n_lane_blocks: int = 0
     #: candidates that never entered a lane block (digital events, singletons)
@@ -124,6 +128,11 @@ class _Task:
     settings: object
     relinearise_interval: Optional[int]
     reuse_assembly: bool = True
+    #: content-addressed cache write target (workers write, parent serves
+    #: hits before dispatch); ``None`` when caching is off or read-only
+    cache_key: Optional[str] = None
+    cache_dir: Optional[str] = None
+    cache_salt: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -196,7 +205,55 @@ def _lane_structure(task: _Task) -> Optional[AssemblyStructure]:
     return structure
 
 
+def _write_cache_entries(
+    tasks: Sequence[_Task], outcomes: Sequence[_Outcome]
+) -> None:
+    """Record finished candidates in the result store (worker side).
+
+    Workers write, the parent serves hits: each task carries its
+    pre-computed content key, so concurrent writers land idempotent
+    entries (atomic per-entry renames make the race harmless).
+    """
+    by_index = {task.index: task for task in tasks}
+    store = None
+    for outcome in outcomes:
+        task = by_index[outcome.index]
+        if task.cache_key is None:
+            continue
+        if store is None:
+            from ..cache import ResultStore
+
+            store = ResultStore(task.cache_dir, salt=task.cache_salt)
+        try:
+            store.store_point(
+                task.cache_key,
+                score=outcome.score,
+                cpu_time_s=outcome.cpu_time_s,
+                exact_rerun=outcome.exact_rerun,
+                label=", ".join(
+                    f"{k}={v}" for k, v in task.parameters.items()
+                ),
+            )
+        except OSError as exc:
+            # a cache write must never discard a finished simulation:
+            # degrade to uncached (mirroring how the read path degrades
+            # corruption to a miss) and stop trying for this block
+            warnings.warn(
+                f"result cache at {store.root} is unwritable ({exc}); "
+                "continuing without caching",
+                stacklevel=2,
+            )
+            break
+
+
 def _evaluate_lane_block(tasks: Sequence[_Task]) -> List[_Outcome]:
+    """Evaluate one lane block (worker entry point; cache-write on exit)."""
+    outcomes = _evaluate_lane_block_inner(tasks)
+    _write_cache_entries(tasks, outcomes)
+    return outcomes
+
+
+def _evaluate_lane_block_inner(tasks: Sequence[_Task]) -> List[_Outcome]:
     """Evaluate one lane block of same-topology candidates in lock-step.
 
     Runs in a worker process or inline.  Single-task blocks take the
@@ -342,6 +399,26 @@ class SweepEngine:
     lane_width:
         Maximum lanes per batched block.  Default: one block per
         topology (serial) or one block per worker per topology.
+    cache:
+        Result-cache mode (:mod:`repro.cache`): ``"off"`` (default) never
+        touches the store; ``"read"`` serves per-candidate sweep points
+        from the content-addressed store; ``"readwrite"`` additionally
+        records misses (workers write as candidates finish, the parent
+        serves hits before dispatch).  Keys digest the candidate's full
+        serialised scenario plus the canonical execution fingerprint
+        (:func:`repro.api.options.execution_fingerprint`) — the same
+        helper the checkpoint config-hash uses, so a cache hit and a
+        checkpoint resume agree on what "the same execution" means.
+        Caching requires serialisable scenarios (``Scenario`` /
+        ``SpecScenario``) and a stock named metric.  Caveat for
+        ``backend="batched"`` in adaptive shared-step mode: lane-block
+        composition (which depends on which candidates are pending) can
+        shift scores within the backend's documented 10 % tolerance, so
+        a partially warm rerun may serve scores a fully cold run would
+        have computed under a different grouping — use ``fixed_step``
+        settings when bit-exact warm/cold agreement matters.
+    cache_dir:
+        Store root (``None``: ``REPRO_CACHE_DIR`` or ``~/.cache/repro``).
     """
 
     def __init__(
@@ -354,6 +431,8 @@ class SweepEngine:
         reuse_assembly: bool = True,
         backend: str = "process",
         lane_width: Optional[int] = None,
+        cache: str = "off",
+        cache_dir: Optional[str] = None,
         _facade: bool = False,
     ) -> None:
         if not _facade:
@@ -383,6 +462,12 @@ class SweepEngine:
                 "batched backend; drop lane_width or select "
                 "backend='batched'"
             )
+        from ..api.options import CACHE_MODES
+
+        if cache not in CACHE_MODES:
+            raise ConfigurationError(
+                f"unknown cache mode {cache!r}; choose from {CACHE_MODES}"
+            )
         self.n_workers = int(n_workers)
         self.checkpoint_path = checkpoint_path
         self.progress = progress
@@ -390,6 +475,8 @@ class SweepEngine:
         self.reuse_assembly = reuse_assembly
         self.backend = backend
         self.lane_width = lane_width
+        self.cache = cache
+        self.cache_dir = cache_dir
 
     # ------------------------------------------------------------------ #
     # public API
@@ -407,7 +494,10 @@ class SweepEngine:
         total = len(tasks)
         outcomes: Dict[int, _Outcome] = {}
 
-        n_resumed = self._load_checkpoint(sweep, tasks, outcomes)
+        n_resumed = self._load_checkpoint(sweep, tasks, outcomes, integrator, settings)
+        n_cache_hits, tasks = self._apply_cache(
+            sweep, tasks, outcomes, integrator, settings
+        )
         pending = [task for task in tasks if task.index not in outcomes]
 
         # one work unit is a lane block: several same-topology candidates
@@ -454,7 +544,7 @@ class SweepEngine:
                 )
             emit_progress()
 
-        if n_resumed:
+        if n_resumed or n_cache_hits:
             emit_progress()
 
         if parallel:
@@ -496,6 +586,8 @@ class SweepEngine:
             n_batched_candidates=sum(
                 1 for o in outcomes.values() if o.batched
             ),
+            n_cache_hits=n_cache_hits,
+            cache=self.cache,
         )
         return result
 
@@ -555,12 +647,33 @@ class SweepEngine:
         blocks.sort(key=lambda block: block[0].index)
         return blocks
 
-    def _checkpoint_metadata(self, sweep) -> Dict[str, str]:
+    def _execution_fingerprint(self, integrator, settings) -> Dict[str, object]:
+        """The canonical result-affecting options fingerprint of this run.
+
+        One helper — :func:`repro.api.options.execution_fingerprint` —
+        feeds both the checkpoint config-hash and the cache keys, so the
+        two persistence layers can never diverge on what "the same
+        execution" means (a divergence would make cache hits lie about
+        matching an existing checkpoint, or vice versa).
+        """
+        from ..api.options import execution_fingerprint
+
+        return execution_fingerprint(
+            integrator=integrator,
+            settings=settings,
+            relinearise_interval=self.relinearise_interval,
+            backend=self.backend,
+        )
+
+    def _checkpoint_metadata(self, sweep, integrator, settings) -> Dict[str, str]:
         # the grid/config hash covers the parameter *values* (not just
-        # names), the solver profile, the execution backend and the base
-        # scenario's identity, so a checkpoint cannot silently map stale
-        # scores onto a reshaped grid, a different-accuracy profile, a
-        # different backend or a different base configuration
+        # names), the canonical execution fingerprint (solver profile,
+        # integrator, settings, backend — shared with the cache keys) and
+        # the base scenario's identity, so a checkpoint cannot silently
+        # map stale scores onto a reshaped grid, a different-accuracy
+        # profile, a different backend or a different base configuration
+        import json as _json
+
         scenario = sweep.scenario
         scenario_fingerprint = (
             getattr(scenario, "name", ""),
@@ -575,8 +688,10 @@ class SweepEngine:
                         (name, tuple(values))
                         for name, values in sweep.parameters.items()
                     ),
-                    self.relinearise_interval,
-                    self.backend,
+                    _json.dumps(
+                        self._execution_fingerprint(integrator, settings),
+                        sort_keys=True,
+                    ),
                     scenario_fingerprint,
                 )
             ).encode()
@@ -588,8 +703,94 @@ class SweepEngine:
             "grid": digest,
         }
 
+    def _apply_cache(
+        self,
+        sweep,
+        tasks: List[_Task],
+        outcomes: Dict[int, _Outcome],
+        integrator,
+        settings,
+    ):
+        """Serve candidates from the result store; arm misses for writing.
+
+        Returns ``(n_cache_hits, tasks)`` where hit candidates landed in
+        ``outcomes`` and — in ``"readwrite"`` mode — the remaining tasks
+        carry their content key so the workers that evaluate them write
+        the store entries themselves.  Corrupt entries degrade to misses
+        with a warning (and are dropped when writable), mirroring the
+        single-run planner path.
+        """
+        if self.cache == "off":
+            return 0, tasks
+        from ..api.experiment import metric_key_for, scenario_to_dict
+        from ..cache import ResultStore
+        from ..core.errors import CacheCorruptionError
+
+        # key on the metric's *registry identity*, never its free-form
+        # metric_name label: two different callables can share a label,
+        # and a label collision in a globally shared store would serve
+        # one metric's scores as the other's
+        metric_key = metric_key_for(sweep.metric)
+        if metric_key is None:
+            raise ConfigurationError(
+                f"cache={self.cache!r} needs a named metric — the custom "
+                f"metric {getattr(sweep.metric, '__name__', sweep.metric)!r} "
+                "has no canonical identity to key cache entries on; use a "
+                "stock metric (harvested_energy / average_power) or drop "
+                "the cache"
+            )
+        store = ResultStore(self.cache_dir)
+        fingerprint = self._execution_fingerprint(integrator, settings)
+        n_cache_hits = 0
+        armed: List[_Task] = []
+        for task in tasks:
+            payload = {
+                "kind": "sweep_point",
+                "scenario": scenario_to_dict(task.scenario),
+                "execution": fingerprint,
+                "metric": metric_key,
+            }
+            key = store.key_for(payload)
+            if task.index not in outcomes:
+                try:
+                    point = store.load_point(key)
+                except CacheCorruptionError as exc:
+                    warnings.warn(
+                        f"ignoring corrupt cache entry: {exc}", stacklevel=2
+                    )
+                    if self.cache == "readwrite":
+                        try:
+                            store.drop(key)
+                        except OSError:
+                            pass  # an undeletable entry must not abort the run
+                    point = None
+                if point is not None:
+                    outcomes[task.index] = _Outcome(
+                        index=task.index,
+                        score=float(point["score"]),
+                        cpu_time_s=float(point["cpu_time_s"]),
+                        exact_rerun=bool(point["exact_rerun"]),
+                    )
+                    n_cache_hits += 1
+                    armed.append(task)
+                    continue
+            if self.cache == "readwrite":
+                task = replace(
+                    task,
+                    cache_key=key,
+                    cache_dir=str(store.root),
+                    cache_salt=store.salt,
+                )
+            armed.append(task)
+        return n_cache_hits, armed
+
     def _load_checkpoint(
-        self, sweep, tasks: Sequence[_Task], outcomes: Dict[int, _Outcome]
+        self,
+        sweep,
+        tasks: Sequence[_Task],
+        outcomes: Dict[int, _Outcome],
+        integrator,
+        settings,
     ) -> int:
         """Fill ``outcomes`` from an existing checkpoint; returns the count.
 
@@ -600,7 +801,7 @@ class SweepEngine:
         path = self.checkpoint_path
         if path is None:
             return 0
-        expected = self._checkpoint_metadata(sweep)
+        expected = self._checkpoint_metadata(sweep, integrator, settings)
         if not os.path.exists(path):
             write_checkpoint_header(path, _CHECKPOINT_FIELDS, expected)
             return 0

@@ -15,7 +15,12 @@ another free-function entry point:
   planner (:mod:`repro.api.planner`);
 * :class:`RunHandle` / :class:`StudyResult` / :class:`ComparisonResult`
   — typed result wrappers with uniform ``summary()`` / ``format()`` /
-  ``export_csv()``.
+  ``export_csv()``;
+* :class:`ExperimentSpec` — the declarative form: a whole experiment
+  (scenario + options + solver dispatch + sweep grid) as serialisable
+  data with JSON/TOML round-trip, a stable ``content_hash()`` feeding
+  the result cache (:mod:`repro.cache`), and
+  :meth:`Study.to_spec` / :meth:`Study.from_spec` interconversion.
 
 The historical entry points (``run_proposed``, ``ParameterSweep.run``,
 direct ``SweepEngine`` construction) remain available as thin
@@ -23,10 +28,11 @@ deprecation shims over this facade and return byte-identical results
 (see DESIGN.md §4 for the shim contract).
 """
 
-from .options import BACKENDS, RunOptions
+from .options import BACKENDS, CACHE_MODES, RunOptions, execution_fingerprint
 from .planner import SOLVERS, ExecutionPlan
 from .results import ComparisonResult, RunHandle, StudyResult
 from .study import Study
+from .experiment import ExperimentSpec, SweepAxis, SweepSpec
 
 __all__ = [
     "Study",
@@ -35,6 +41,11 @@ __all__ = [
     "StudyResult",
     "ComparisonResult",
     "ExecutionPlan",
+    "ExperimentSpec",
+    "SweepAxis",
+    "SweepSpec",
     "BACKENDS",
     "SOLVERS",
+    "CACHE_MODES",
+    "execution_fingerprint",
 ]

@@ -16,20 +16,61 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Dict, Optional
 
 from ..core.elimination import AssemblyStructure
 from ..core.errors import ConfigurationError
-from ..core.integrators import ExplicitIntegrator
+from ..core.integrators import ExplicitIntegrator, make_integrator
+from ..core.serialise import decode_value, encode_value
 from ..core.solver import SolverSettings
 
-__all__ = ["RunOptions", "BACKENDS"]
+__all__ = ["RunOptions", "BACKENDS", "CACHE_MODES", "execution_fingerprint"]
 
 #: execution backends understood by the dispatch planner
 BACKENDS = ("process", "batched")
 
+#: result-cache modes: ``"off"`` never touches the store, ``"read"`` serves
+#: hits but never writes, ``"readwrite"`` serves hits and records misses
+CACHE_MODES = ("off", "read", "readwrite")
+
 #: sweep progress callback: ``progress(done, total, best_point)``
 ProgressFn = Callable[[int, int, object], None]
+
+
+def execution_fingerprint(
+    *,
+    integrator: Optional[ExplicitIntegrator] = None,
+    settings: Optional[SolverSettings] = None,
+    relinearise_interval: Optional[int] = None,
+    backend: str = "process",
+) -> Dict[str, object]:
+    """Canonical fingerprint of everything that can change a *result*.
+
+    This is the **one** options fingerprint in the codebase: the sweep
+    engine's checkpoint config-hash and the result cache's keys are both
+    derived from it, so a checkpoint resume and a cache hit agree on what
+    "the same execution" means.  Deliberately excluded: knobs that change
+    *how fast* or *where* candidates run but not their scores
+    (``n_workers``, ``lane_width``, checkpointing, progress, cache mode) —
+    the engine's determinism contract (and the documented 10 % adaptive
+    shared-step tolerance for the batched backend, which *is* included via
+    ``backend``) covers those.
+    """
+    if integrator is None:
+        integrator_form = None
+    else:
+        integrator_form = {
+            "name": str(integrator.name),
+            "order": getattr(integrator, "order", None),
+        }
+    return {
+        "integrator": integrator_form,
+        "settings": None if settings is None else encode_value(settings),
+        "relinearise_interval": (
+            None if relinearise_interval is None else int(relinearise_interval)
+        ),
+        "backend": str(backend),
+    }
 
 
 @dataclass(frozen=True)
@@ -75,6 +116,21 @@ class RunOptions:
         :class:`~repro.core.elimination.AssemblyStructure` instead of
         rebuilding it (see :func:`repro.harvester.prepare_assembly`).
         Sweeps manage this internally; combining it with a sweep raises.
+    cache:
+        Result-cache mode (:mod:`repro.cache`): ``"off"`` (default) never
+        touches the store; ``"read"`` serves single runs and per-candidate
+        sweep points from the content-addressed store but never writes;
+        ``"readwrite"`` additionally records misses.  Cache keys cover the
+        experiment content hash plus a code-version salt, so results never
+        survive a version bump.
+    cache_dir:
+        Root directory of the result store.  ``None`` uses the
+        ``REPRO_CACHE_DIR`` environment variable, falling back to
+        ``~/.cache/repro``.  Setting it with ``cache="off"`` raises.
+    store_traces:
+        Whether cached single-run entries include the full waveform traces
+        (on by default; scores/stats are always stored).  A run served
+        from a traces-free entry has summary statistics but no traces.
     """
 
     integrator: Optional[ExplicitIntegrator] = None
@@ -87,6 +143,9 @@ class RunOptions:
     progress: Optional[ProgressFn] = None
     reuse_assembly: bool = True
     assembly_structure: Optional[AssemblyStructure] = None
+    cache: str = "off"
+    cache_dir: Optional[str] = None
+    store_traces: bool = True
 
     def __post_init__(self) -> None:
         self.validate()
@@ -148,6 +207,16 @@ class RunOptions:
             raise ConfigurationError("relinearise_interval must be at least 1")
         if self.progress is not None and not callable(self.progress):
             raise ConfigurationError("progress must be callable")
+        if self.cache not in CACHE_MODES:
+            raise ConfigurationError(
+                f"unknown cache mode {self.cache!r}; choose from {CACHE_MODES}"
+            )
+        if self.cache_dir is not None and self.cache == "off":
+            raise ConfigurationError(
+                f"incoherent options: cache_dir={self.cache_dir!r} with "
+                "cache='off' — the store is never consulted; drop cache_dir "
+                "or select cache='read'/'readwrite'"
+            )
 
     def validate_for_sweep(self) -> None:
         """Additional coherence checks for sweep dispatch."""
@@ -186,6 +255,115 @@ class RunOptions:
                 f"incoherent options: n_workers={self.n_workers} with a "
                 "single run — worker processes only apply to sweeps"
             )
+
+    # ------------------------------------------------------------------ #
+    # canonical serialisation (the declarative-experiment form)
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form (lossless JSON/TOML round-trip).
+
+        Fields equal to their defaults are omitted, so the serialised form
+        stays as small as what the user actually configured.  The two
+        process-local knobs that cannot be data — ``progress`` callbacks
+        and prepared ``assembly_structure`` objects — raise when set.
+        """
+        for knob, value in (
+            ("progress", self.progress),
+            ("assembly_structure", self.assembly_structure),
+        ):
+            if value is not None:
+                raise ConfigurationError(
+                    f"cannot serialise RunOptions: {knob} is a process-local "
+                    "object with no declarative form; drop it from options "
+                    "destined for an ExperimentSpec"
+                )
+        data: Dict[str, object] = {}
+        for field in dataclasses.fields(self):
+            if field.name in ("progress", "assembly_structure"):
+                continue
+            value = getattr(self, field.name)
+            if value == field.default:
+                continue
+            if field.name == "integrator":
+                value = {
+                    "name": str(value.name),
+                    "order": getattr(value, "order", None),
+                }
+                if value["order"] is None:
+                    del value["order"]
+            elif field.name == "settings":
+                value = encode_value(value)
+            data[field.name] = value
+        return data
+
+    @classmethod
+    def from_dict(cls, data) -> "RunOptions":
+        """Rebuild options from :meth:`to_dict` output (unknown keys rejected)."""
+        valid = tuple(
+            field.name
+            for field in dataclasses.fields(cls)
+            if field.name not in ("progress", "assembly_structure")
+        )
+        unknown = set(data) - set(valid)
+        if unknown:
+            raise ConfigurationError(
+                f"options dict has unknown fields {sorted(unknown)}; "
+                f"valid fields are {list(valid)}"
+            )
+        kwargs: Dict[str, object] = dict(data)
+        integrator = kwargs.get("integrator")
+        if integrator is not None:
+            if not isinstance(integrator, dict) or "name" not in integrator:
+                raise ConfigurationError(
+                    f"options dict integrator must be a "
+                    f"{{'name': ..., 'order': ...}} table, got {integrator!r}"
+                )
+            extra = set(integrator) - {"name", "order"}
+            if extra:
+                raise ConfigurationError(
+                    f"options dict integrator has unknown fields "
+                    f"{sorted(extra)}; valid fields are ['name', 'order']"
+                )
+            order = integrator.get("order")
+            factory_kwargs = {}
+            if order is not None and str(integrator["name"]).strip().lower() in (
+                "adams_bashforth",
+                "ab",
+            ):
+                factory_kwargs["order"] = int(order)
+            try:
+                built = make_integrator(str(integrator["name"]), **factory_kwargs)
+            except (ValueError, TypeError) as exc:
+                raise ConfigurationError(str(exc)) from None
+            if order is not None and getattr(built, "order", None) != int(order):
+                # make_integrator ignores kwargs for fixed-order formulas;
+                # dropping a meaningful-looking value silently would
+                # misreport what runs
+                raise ConfigurationError(
+                    f"integrator {integrator['name']!r} has fixed order "
+                    f"{getattr(built, 'order', None)}; it cannot take "
+                    f"order={order}"
+                )
+            kwargs["integrator"] = built
+        settings = kwargs.get("settings")
+        if settings is not None:
+            settings = decode_value(settings)
+            if not isinstance(settings, SolverSettings):
+                raise ConfigurationError(
+                    "options dict settings must decode to SolverSettings, "
+                    f"got {type(settings).__name__}"
+                )
+            kwargs["settings"] = settings
+        return cls(**kwargs)
+
+    def fingerprint(self) -> Dict[str, object]:
+        """This options object's :func:`execution_fingerprint`."""
+        return execution_fingerprint(
+            integrator=self.integrator,
+            settings=self.settings,
+            relinearise_interval=self.relinearise_interval,
+            backend=self.backend,
+        )
 
     # ------------------------------------------------------------------ #
     # convenience

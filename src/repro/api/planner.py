@@ -25,10 +25,13 @@ here, not at the call sites.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace as dataclasses_replace
 from typing import Dict, Mapping, Optional, Tuple
 
-from ..core.errors import ConfigurationError
+from ..core.errors import CacheCorruptionError, ConfigurationError
+from ..core.results import SimulationResult
+from ..core.serialise import encode_value
 from ..harvester.scenarios import (
     _simulate_baseline,
     _simulate_proposed,
@@ -172,10 +175,56 @@ def execute(plan_: ExecutionPlan):
     raise ConfigurationError(f"unknown plan kind {plan_.kind!r}")  # pragma: no cover
 
 
+def _single_run_cache(
+    scenario, options: RunOptions, solver: str, solver_kwargs: Mapping[str, object]
+):
+    """The ``(store, key)`` addressing one single run in the result cache.
+
+    The key digests the same resolved content an
+    :class:`~repro.api.experiment.ExperimentSpec` would hash — the full
+    serialised scenario, the execution fingerprint and the solver
+    dispatch — so the fluent, declarative and CLI forms of one experiment
+    all address the same entry.
+    """
+    from ..cache import ResultStore
+    from .experiment import scenario_to_dict
+
+    store = ResultStore(options.cache_dir)
+    payload = {
+        "kind": "single",
+        "scenario": scenario_to_dict(scenario),
+        "execution": options.fingerprint(),
+        "solver": solver,
+        "solver_kwargs": encode_value(dict(solver_kwargs)),
+    }
+    return store, store.key_for(payload)
+
+
+def _load_cached_run(store, key: str, options: RunOptions) -> Optional[SimulationResult]:
+    """Serve a single run from the store; corruption degrades to a miss."""
+    try:
+        return store.load_run(key)
+    except CacheCorruptionError as exc:
+        warnings.warn(f"ignoring corrupt cache entry: {exc}", stacklevel=2)
+        if options.cache == "readwrite":
+            try:
+                store.drop(key)
+            except OSError:
+                pass  # an undeletable entry must not abort the run
+        return None
+
+
 def _execute_single(
     scenario, options: RunOptions, solver: str, solver_kwargs: Mapping[str, object]
 ) -> RunHandle:
-    """One scenario on one solver family."""
+    """One scenario on one solver family (cache-aware)."""
+    store = cache_key = None
+    if options.cache != "off":
+        store, cache_key = _single_run_cache(scenario, options, solver, solver_kwargs)
+        cached = _load_cached_run(store, cache_key, options)
+        if cached is not None:
+            cached.metadata["cache"] = "hit"
+            return RunHandle(cached, scenario=scenario)
     if solver == "proposed":
         if solver_kwargs:
             # Study.solver rejects this eagerly; guard the direct path too
@@ -213,6 +262,23 @@ def _execute_single(
         result = _simulate_reference(
             scenario, settings=dict(solver_kwargs).get("settings")
         )
+    if store is not None:
+        if options.cache == "readwrite":
+            try:
+                store.store_run(
+                    cache_key,
+                    result,
+                    store_traces=options.store_traces,
+                    label=f"{getattr(scenario, 'name', '')}/{solver}",
+                )
+            except OSError as exc:
+                # never discard a finished simulation over a cache write
+                warnings.warn(
+                    f"result cache at {store.root} is unwritable ({exc}); "
+                    "continuing without caching",
+                    stacklevel=2,
+                )
+        result.metadata["cache"] = "miss"
     return RunHandle(result, scenario=scenario)
 
 
@@ -259,6 +325,8 @@ def execute_sweep(sweep, options: RunOptions) -> StudyResult:
         reuse_assembly=options.reuse_assembly,
         backend=options.backend,
         lane_width=options.lane_width,
+        cache=options.cache,
+        cache_dir=options.cache_dir,
         _facade=True,
     )
     sweep_result = engine.run(

@@ -171,6 +171,8 @@ class StudyResult:
                 n_evaluated=info.n_evaluated,
                 n_resumed=info.n_resumed,
             )
+            if getattr(info, "cache", "off") != "off":
+                summary["n_cache_hits"] = info.n_cache_hits
         return summary
 
     def export_csv(self, path: PathLike) -> Path:

@@ -206,6 +206,85 @@ class Study:
         return self._copy(sweep=sweep)
 
     # ------------------------------------------------------------------ #
+    # declarative form
+    # ------------------------------------------------------------------ #
+    def to_spec(self, *, name: str = "", description: str = ""):
+        """This study as a serialisable :class:`~repro.api.experiment.ExperimentSpec`.
+
+        Everything the study would run becomes data: the scenario (which
+        must be a serialisable :class:`Scenario`/:class:`SpecScenario`),
+        the options (process-local ``progress``/``assembly_structure``
+        objects are rejected by name), and the sweep — whose metric and
+        apply callables must be the stock ones (a custom callable has no
+        declarative form and is rejected rather than silently renamed).
+        """
+        from .experiment import (
+            ExperimentSpec,
+            SweepAxis,
+            SweepSpec,
+            metric_key_for,
+        )
+
+        sweep_spec = None
+        if self._sweep is not None:
+            from ..analysis.sweep import _default_apply, _default_spec_apply
+
+            sweep = self._sweep
+            if sweep.apply not in (_default_apply, _default_spec_apply):
+                raise ConfigurationError(
+                    "cannot serialise the sweep: a custom apply callable "
+                    "has no declarative form; use dotted block.param axes, "
+                    "excitation axes or BlockSpec topology values instead"
+                )
+            metric_key = metric_key_for(sweep.metric)
+            if metric_key is None:
+                raise ConfigurationError(
+                    f"cannot serialise the sweep: metric "
+                    f"{getattr(sweep.metric, '__name__', sweep.metric)!r} "
+                    "is not a named metric; declarative experiments support "
+                    "'harvested_energy' and 'average_power'"
+                )
+            sweep_spec = SweepSpec(
+                axes=tuple(
+                    SweepAxis(axis, tuple(values))
+                    for axis, values in sweep.parameters.items()
+                ),
+                metric=metric_key,
+                metric_name=sweep.metric_name,
+            )
+        return ExperimentSpec(
+            scenario=self._scenario,
+            options=self._options,
+            solver=self._solver,
+            solver_kwargs=dict(self._solver_kwargs),
+            compare=self._compare_solvers,
+            sweep=sweep_spec,
+            name=name,
+            description=description,
+        )
+
+    @classmethod
+    def from_spec(cls, spec) -> "Study":
+        """The fluent study equivalent to an :class:`ExperimentSpec`.
+
+        ``Study.from_spec(study.to_spec())`` plans identically to
+        ``study`` — the round-trip contract the spec tests pin down.
+        """
+        study = cls.scenario(spec.scenario).options(spec.options)
+        if spec.compare:
+            study = study.compare(*spec.compare, **dict(spec.solver_kwargs))
+        elif spec.solver != "proposed" or spec.solver_kwargs:
+            study = study.solver(spec.solver, **dict(spec.solver_kwargs))
+        if spec.sweep is not None:
+            metric, metric_name = spec.sweep.resolved_metric()
+            study = study.sweep(
+                {axis.name: list(axis.values) for axis in spec.sweep.axes},
+                metric=metric,
+                metric_name=metric_name,
+            )
+        return study
+
+    # ------------------------------------------------------------------ #
     # execution
     # ------------------------------------------------------------------ #
     def plan(self) -> "_planner.ExecutionPlan":

@@ -95,6 +95,27 @@ class MicrogeneratorParameters:
         self.buckling_load_n = buckling_load_n
         self.tuning_force_z_fraction = tuning_force_z_fraction
 
+    _FIELDS = (
+        "proof_mass_kg",
+        "parasitic_damping",
+        "spring_stiffness",
+        "flux_linkage",
+        "coil_resistance",
+        "coil_inductance",
+        "buckling_load_n",
+        "tuning_force_z_fraction",
+    )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MicrogeneratorParameters):
+            return NotImplemented
+        return all(
+            getattr(self, name) == getattr(other, name) for name in self._FIELDS
+        )
+
+    def __hash__(self) -> int:
+        return hash(tuple(getattr(self, name) for name in self._FIELDS))
+
     @property
     def untuned_frequency_hz(self) -> float:
         """Un-tuned resonant frequency ``f_r = sqrt(k_s/m) / 2 pi``."""

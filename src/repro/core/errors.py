@@ -16,6 +16,17 @@ class ConfigurationError(SimulationError):
     """A model or solver was constructed with inconsistent parameters."""
 
 
+class CacheCorruptionError(ConfigurationError):
+    """A result-cache entry failed validation on load.
+
+    Raised by :class:`repro.cache.ResultStore` when an entry exists but
+    cannot be trusted (unparseable metadata, key/schema mismatch, missing
+    trace payload).  Derives from :class:`ConfigurationError` so callers
+    that already guard spec/checkpoint loading catch it too; the planner
+    treats it as a miss (with a warning) rather than failing the run.
+    """
+
+
 class ConnectionError_(SimulationError):
     """Blocks were wired together incorrectly (dangling or mismatched ports).
 

@@ -33,6 +33,7 @@ from ..blocks.microcontroller import ControllerSettings
 from ..blocks.microgenerator import MicrogeneratorParameters
 from ..blocks.supercapacitor import SupercapacitorParameters
 from ..core.errors import ConfigurationError
+from ..core.serialise import decode_value, encode_value, register_serialisable
 
 __all__ = ["TuningMechanismConfig", "ExcitationConfig", "HarvesterConfig", "paper_harvester"]
 
@@ -173,6 +174,39 @@ class HarvesterConfig:
     def with_initial_tuning(self, frequency_hz: Optional[float]) -> "HarvesterConfig":
         """Copy with a different (or no) initial tuned frequency."""
         return replace(self, initial_tuned_frequency_hz=frequency_hz)
+
+    # ------------------------------------------------------------------ #
+    # canonical serialisation (repro.core.serialise codec)
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """Plain-dict form (lossless JSON/TOML round-trip)."""
+        return encode_value(self)
+
+    @classmethod
+    def from_dict(cls, data) -> "HarvesterConfig":
+        """Rebuild a configuration from :meth:`to_dict` output."""
+        config = decode_value(data)
+        if not isinstance(config, cls):
+            raise ConfigurationError(
+                f"expected a serialised {cls.__name__}, got "
+                f"{type(config).__name__}"
+            )
+        return config
+
+
+# every class reachable from a HarvesterConfig participates in the shared
+# codec, which is what gives Scenario (and therefore ExperimentSpec) its
+# lossless dict round-trip
+register_serialisable(TuningMechanismConfig)
+register_serialisable(ExcitationConfig)
+register_serialisable(DiodeParameters)
+register_serialisable(SupercapacitorParameters)
+register_serialisable(LoadProfile)
+register_serialisable(ControllerSettings)
+register_serialisable(
+    MicrogeneratorParameters, fields=MicrogeneratorParameters._FIELDS
+)
+register_serialisable(HarvesterConfig)
 
 
 def paper_harvester() -> HarvesterConfig:

@@ -29,6 +29,7 @@ from ..blocks.vibration import FrequencyStep, VibrationSource
 from ..core.elimination import AssemblyStructure
 from ..core.integrators import ExplicitIntegrator
 from ..core.results import SimulationResult
+from ..core.serialise import register_serialisable
 from ..core.solver import SolverSettings
 from .config import HarvesterConfig, TuningMechanismConfig, paper_harvester
 from .system import TunableEnergyHarvester, default_solver_settings
@@ -119,6 +120,84 @@ class Scenario:
             getattr(self.config, "multiplier_stages", None),
             self.with_controller,
         )
+
+    # ------------------------------------------------------------------ #
+    # canonical serialisation (the declarative-experiment form)
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """Plain-dict form (lossless JSON/TOML round-trip).
+
+        The ``type`` tag lets :func:`repro.api.experiment.scenario_from_dict`
+        dispatch between config-backed and spec-backed scenarios.
+        """
+        from ..core.serialise import encode_value
+
+        return {
+            "type": "scenario",
+            "name": self.name,
+            "description": self.description,
+            "config": self.config.to_dict(),
+            "duration_s": self.duration_s,
+            "frequency_steps": [
+                encode_value(step) for step in self.frequency_steps
+            ],
+            "with_controller": self.with_controller,
+            "paper_reference": self.paper_reference,
+        }
+
+    @classmethod
+    def from_dict(cls, data) -> "Scenario":
+        """Rebuild a scenario from :meth:`to_dict` output (unknown keys rejected)."""
+        from ..core.errors import ConfigurationError
+        from ..core.serialise import decode_value
+
+        valid = (
+            "type",
+            "name",
+            "description",
+            "config",
+            "duration_s",
+            "frequency_steps",
+            "with_controller",
+            "paper_reference",
+        )
+        unknown = set(data) - set(valid)
+        if unknown:
+            raise ConfigurationError(
+                f"scenario dict has unknown fields {sorted(unknown)}; "
+                f"valid fields are {list(valid)}"
+            )
+        if data.get("type", "scenario") != "scenario":
+            raise ConfigurationError(
+                f"scenario dict has type {data.get('type')!r}; expected "
+                "'scenario' (spec-backed scenarios use 'spec_scenario')"
+            )
+        for required in ("name", "config", "duration_s"):
+            if required not in data:
+                raise ConfigurationError(
+                    f"scenario dict is missing required field {required!r}"
+                )
+        steps = tuple(decode_value(s) for s in data.get("frequency_steps", ()))
+        for step in steps:
+            if not isinstance(step, FrequencyStep):
+                raise ConfigurationError(
+                    f"scenario dict frequency_steps entry decodes to "
+                    f"{type(step).__name__}; expected FrequencyStep"
+                )
+        return cls(
+            name=str(data["name"]),
+            description=str(data.get("description", "")),
+            config=HarvesterConfig.from_dict(data["config"]),
+            duration_s=float(data["duration_s"]),
+            frequency_steps=steps,
+            with_controller=bool(data.get("with_controller", True)),
+            paper_reference=str(data.get("paper_reference", "")),
+        )
+
+
+# the excitation schedule participates in the shared codec so that
+# Scenario.to_dict round-trips scheduled frequency steps losslessly
+register_serialisable(FrequencyStep)
 
 
 def _scaled_controller(paper_timescale: bool) -> ControllerSettings:

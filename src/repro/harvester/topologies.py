@@ -375,6 +375,57 @@ class SpecScenario:
         """Fresh compiled system (one per simulation run)."""
         return SystemBuilder(self.spec).build(assembly_structure=assembly_structure)
 
+    # ------------------------------------------------------------------ #
+    # canonical serialisation (the declarative-experiment form)
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form (lossless JSON/TOML round-trip)."""
+        return {
+            "type": "spec_scenario",
+            "name": self.name,
+            "description": self.description,
+            "spec": self.spec.to_dict(),
+            "duration_s": self.duration_s,
+            "paper_reference": self.paper_reference,
+        }
+
+    @classmethod
+    def from_dict(cls, data) -> "SpecScenario":
+        """Rebuild a scenario from :meth:`to_dict` output (unknown keys rejected)."""
+        from ..core.errors import ConfigurationError
+
+        valid = (
+            "type",
+            "name",
+            "description",
+            "spec",
+            "duration_s",
+            "paper_reference",
+        )
+        unknown = set(data) - set(valid)
+        if unknown:
+            raise ConfigurationError(
+                f"spec-scenario dict has unknown fields {sorted(unknown)}; "
+                f"valid fields are {list(valid)}"
+            )
+        if data.get("type", "spec_scenario") != "spec_scenario":
+            raise ConfigurationError(
+                f"spec-scenario dict has type {data.get('type')!r}; "
+                "expected 'spec_scenario'"
+            )
+        for required in ("name", "spec", "duration_s"):
+            if required not in data:
+                raise ConfigurationError(
+                    f"spec-scenario dict is missing required field {required!r}"
+                )
+        return cls(
+            name=str(data["name"]),
+            description=str(data.get("description", "")),
+            spec=SystemSpec.from_dict(data["spec"]),
+            duration_s=float(data["duration_s"]),
+            paper_reference=str(data.get("paper_reference", "")),
+        )
+
 
 def piezoelectric_scenario(
     duration_s: float = 0.5, **spec_kwargs

@@ -1,6 +1,12 @@
 """Trace export/import, spec files, sweep checkpoints, report formatting."""
 
-from .specio import load_spec, save_spec
+from .specio import (
+    dump_toml,
+    load_experiment,
+    load_spec,
+    save_experiment,
+    save_spec,
+)
 from .csvio import (
     append_checkpoint_row,
     export_result,
@@ -22,6 +28,9 @@ from .report import (
 __all__ = [
     "load_spec",
     "save_spec",
+    "load_experiment",
+    "save_experiment",
+    "dump_toml",
     "append_checkpoint_row",
     "export_result",
     "export_traces",

@@ -1,4 +1,4 @@
-"""File I/O for declarative system specs (JSON read/write, TOML read).
+"""File I/O for declarative specs: systems and whole experiments.
 
 A :class:`~repro.core.spec.SystemSpec` serialises losslessly through
 :meth:`~repro.core.spec.SystemSpec.to_dict`; this module maps that onto
@@ -10,18 +10,33 @@ in Python code:
 * ``load_spec("piezo.toml")`` — TOML input via the standard-library
   ``tomllib`` (Python >= 3.11).  TOML *writing* has no standard-library
   support, so ``save_spec`` only accepts JSON paths.
+
+The same treatment extends to whole experiments
+(:class:`~repro.api.experiment.ExperimentSpec`), which additionally get
+TOML *output* through a small emitter (:func:`dump_toml`) covering
+exactly the plain-data dialect the spec layer produces — scalars, lists,
+nested tables and tagged ``{"$none": true}`` / ``{"$type": ...}`` values.
+``None`` values are omitted on write (TOML has no null); every reader on
+the spec path treats an absent field as ``None``, which keeps the
+round-trip lossless.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from typing import Optional
+from typing import Mapping, Optional
 
 from ..core.errors import ConfigurationError
 from ..core.spec import SystemSpec
 
-__all__ = ["load_spec", "save_spec"]
+__all__ = [
+    "load_spec",
+    "save_spec",
+    "load_experiment",
+    "save_experiment",
+    "dump_toml",
+]
 
 
 def save_spec(spec: SystemSpec, path: str) -> str:
@@ -74,3 +89,153 @@ def load_spec(path: str, *, format: Optional[str] = None) -> SystemSpec:
     if fmt == "toml" and data.get("controller") == {}:
         data["controller"] = None
     return SystemSpec.from_dict(data)
+
+
+# ---------------------------------------------------------------------- #
+# experiment files (repro.api.experiment.ExperimentSpec)
+# ---------------------------------------------------------------------- #
+def _read_structured(path: str, format: Optional[str]) -> dict:
+    """Read a JSON or TOML file into a plain dict (format by extension)."""
+    fmt = (format or os.path.splitext(path)[1].lstrip(".")).lower()
+    if fmt == "json":
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    elif fmt == "toml":
+        try:
+            import tomllib
+        except ImportError:  # pragma: no cover - tomllib ships with >= 3.11
+            raise ConfigurationError(
+                "reading TOML experiments needs the standard-library "
+                "tomllib (Python >= 3.11); convert the file to JSON instead"
+            ) from None
+        with open(path, "rb") as handle:
+            data = tomllib.load(handle)
+    else:
+        raise ConfigurationError(
+            f"cannot infer experiment format from {path!r}; pass "
+            "format='json' or format='toml'"
+        )
+    if not isinstance(data, dict):
+        raise ConfigurationError(
+            f"{path} does not contain a table/object at the top level"
+        )
+    return data
+
+
+def load_experiment(path: str, *, format: Optional[str] = None):
+    """Read an :class:`~repro.api.experiment.ExperimentSpec` from JSON/TOML.
+
+    Experiment-level problems (unknown fields, unknown scenario factory,
+    unknown solver or metric) surface as
+    :class:`~repro.core.errors.ConfigurationError` with messages naming
+    the offending entry, exactly as :func:`load_spec` does for system
+    specs.
+    """
+    from ..api.experiment import ExperimentSpec
+
+    if not os.path.exists(path):
+        raise ConfigurationError(f"no such experiment file: {path}")
+    return ExperimentSpec.from_dict(_read_structured(path, format))
+
+
+def save_experiment(experiment, path: str) -> str:
+    """Write an experiment to ``path`` as JSON or TOML; returns the path."""
+    ext = os.path.splitext(path)[1].lower()
+    if ext == ".json":
+        text = experiment.to_json() + "\n"
+    elif ext == ".toml":
+        text = dump_toml(experiment.to_dict())
+    else:
+        raise ConfigurationError(
+            f"save_experiment writes .json or .toml (got {path!r})"
+        )
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return path
+
+
+# ---------------------------------------------------------------------- #
+# minimal TOML emitter for the spec-layer data dialect
+# ---------------------------------------------------------------------- #
+_BARE_KEY_CHARS = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-"
+)
+
+
+def _toml_key(key: str) -> str:
+    if key and set(key) <= _BARE_KEY_CHARS:
+        return key
+    return json.dumps(key)
+
+
+def _toml_value(value: object) -> str:
+    """One TOML value (inline form; ``None`` handled by the callers)."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return repr(value)
+    if isinstance(value, float):
+        if value != value:
+            return "nan"
+        if value in (float("inf"), float("-inf")):
+            return "inf" if value > 0 else "-inf"
+        text = repr(value)
+        # TOML floats need a digit-bearing form; repr already provides one
+        return text
+    if isinstance(value, str):
+        return json.dumps(value)
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(_toml_value(item) for item in value) + "]"
+    if isinstance(value, Mapping):
+        items = ", ".join(
+            f"{_toml_key(str(k))} = {_toml_value(v)}"
+            for k, v in value.items()
+            if v is not None
+        )
+        return "{" + items + "}"
+    raise ConfigurationError(
+        f"cannot write value of type {type(value).__name__!r} to TOML"
+    )
+
+
+def _emit_table(data: Mapping, prefix: str, lines: list) -> None:
+    scalar_items = []
+    table_items = []
+    for key, value in data.items():
+        if value is None:
+            continue  # TOML has no null; readers treat absence as None
+        if isinstance(value, Mapping):
+            table_items.append((str(key), value))
+        else:
+            scalar_items.append((str(key), value))
+    if prefix and (scalar_items or not table_items):
+        lines.append(f"[{prefix}]")
+    for key, value in scalar_items:
+        lines.append(f"{_toml_key(key)} = {_toml_value(value)}")
+    if scalar_items or not prefix:
+        lines.append("")
+    for key, value in table_items:
+        child = _toml_key(key) if not prefix else f"{prefix}.{_toml_key(key)}"
+        _emit_table(value, child, lines)
+
+
+def dump_toml(data: Mapping) -> str:
+    """Serialise a plain spec-layer dict to TOML text.
+
+    Covers the dialect :meth:`ExperimentSpec.to_dict` and
+    :meth:`SystemSpec.to_dict` emit: string-keyed tables, scalars, lists
+    (lists of tables become arrays of inline tables) and nested tables.
+    ``None`` values are omitted — the spec readers treat an absent field
+    as ``None``, so ``load_experiment(save_experiment(...))`` is
+    lossless.  Not a general-purpose TOML writer.
+    """
+    if not isinstance(data, Mapping):
+        raise ConfigurationError(
+            f"dump_toml needs a table/dict at the top level, got "
+            f"{type(data).__name__}"
+        )
+    lines: list = []
+    _emit_table(data, "", lines)
+    while lines and lines[-1] == "":
+        lines.pop()
+    return "\n".join(lines) + "\n"

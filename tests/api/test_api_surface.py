@@ -16,6 +16,11 @@ EXPECTED_ALL = [
     "RunHandle",
     "StudyResult",
     "ComparisonResult",
+    # declarative experiments + result cache
+    "ExperimentSpec",
+    "ResultStore",
+    "load_experiment",
+    "save_experiment",
     # core engine
     "BLOCK_REGISTRY",
     "AdamsBashforth",
@@ -94,8 +99,13 @@ def test_api_package_surface():
         "StudyResult",
         "ComparisonResult",
         "ExecutionPlan",
+        "ExperimentSpec",
+        "SweepAxis",
+        "SweepSpec",
         "BACKENDS",
         "SOLVERS",
+        "CACHE_MODES",
+        "execution_fingerprint",
     ]
     for name in repro.api.__all__:
         assert hasattr(repro.api, name)

@@ -1,0 +1,189 @@
+"""The `repro` command line: run/sweep/compare/export/cache subcommands.
+
+Drives :func:`repro.cli.main` in-process (argv list + capsys) — the same
+entry the ``[project.scripts] repro`` console script invokes.
+"""
+
+import csv
+import json
+
+import pytest
+
+from repro.cli import main
+
+QUICKSTART_TOML = """\
+name = "cli_quickstart"
+
+[scenario]
+factory = "charging"
+duration_s = 0.05
+"""
+
+SWEEP_TOML = """\
+name = "cli_sweep"
+
+[scenario]
+factory = "charging"
+duration_s = 0.05
+
+[sweep]
+metric = "harvested_energy"
+
+[sweep.axes]
+excitation_frequency_hz = [66.0, 70.0]
+"""
+
+COMPARE_TOML = """\
+name = "cli_compare"
+compare = ["proposed", "reference"]
+
+[scenario]
+factory = "charging"
+duration_s = 0.02
+"""
+
+
+@pytest.fixture
+def experiment_dir(tmp_path):
+    (tmp_path / "quickstart.toml").write_text(QUICKSTART_TOML)
+    (tmp_path / "sweep.toml").write_text(SWEEP_TOML)
+    (tmp_path / "compare.toml").write_text(COMPARE_TOML)
+    return tmp_path
+
+
+def run_json(capsys, argv):
+    code = main(argv)
+    captured = capsys.readouterr()
+    assert code == 0, captured.err
+    return json.loads(captured.out)
+
+
+def test_run_twice_reports_cache_hit_with_identical_finals(
+    experiment_dir, capsys
+):
+    argv = [
+        "run",
+        str(experiment_dir / "quickstart.toml"),
+        "--cache-dir",
+        str(experiment_dir / "cache"),
+        "--json",
+    ]
+    first = run_json(capsys, argv)
+    second = run_json(capsys, argv)
+    assert first["cache"] == "miss"
+    assert second["cache"] == "hit"
+    assert second["finals"] == first["finals"]
+    assert second["content_hash"] == first["content_hash"]
+
+
+def test_cli_run_is_byte_identical_to_the_fluent_study(experiment_dir, capsys):
+    from repro import Study, charging_scenario
+
+    report = run_json(
+        capsys, ["run", str(experiment_dir / "quickstart.toml"), "--json"]
+    )
+    run = Study.scenario(charging_scenario(duration_s=0.05)).run()
+    assert report["finals"] == {
+        name: run.final(name) for name in run.trace_names()
+    }
+
+
+def test_run_text_report_mentions_cache(experiment_dir, capsys):
+    assert (
+        main(["run", str(experiment_dir / "quickstart.toml")]) == 0
+    )
+    out = capsys.readouterr().out
+    assert "cache: off" in out
+    assert "final trace values" in out
+
+
+def test_sweep_command_ranks_and_caches(experiment_dir, capsys):
+    argv = [
+        "sweep",
+        str(experiment_dir / "sweep.toml"),
+        "--cache-dir",
+        str(experiment_dir / "cache"),
+        "--json",
+    ]
+    cold = run_json(capsys, argv)
+    warm = run_json(capsys, argv)
+    assert cold["kind"] == "sweep"
+    assert warm["cache"].startswith("hit")
+    assert warm["best_score"] == cold["best_score"]
+    assert warm["points"] == cold["points"]
+
+
+def test_sweep_command_rejects_single_run_experiments(experiment_dir, capsys):
+    code = main(["sweep", str(experiment_dir / "quickstart.toml")])
+    assert code == 2
+    assert "sweep experiment" in capsys.readouterr().err
+
+
+def test_compare_command(experiment_dir, capsys):
+    report = run_json(
+        capsys, ["compare", str(experiment_dir / "compare.toml"), "--json"]
+    )
+    assert report["kind"] == "compare"
+    assert set(report["cpu_times"]) == {"proposed", "reference"}
+
+
+def test_export_writes_csv(experiment_dir, capsys):
+    out_csv = experiment_dir / "out.csv"
+    code = main(
+        [
+            "export",
+            str(experiment_dir / "quickstart.toml"),
+            "--csv",
+            str(out_csv),
+        ]
+    )
+    assert code == 0
+    with out_csv.open() as handle:
+        header = next(csv.reader(handle))
+    assert header[0] == "time"
+    assert "storage_voltage" in header
+
+
+def test_export_without_csv_errors(experiment_dir, capsys):
+    assert main(["export", str(experiment_dir / "quickstart.toml")]) == 2
+    assert "--csv" in capsys.readouterr().err
+
+
+def test_cache_ls_gc_clear(experiment_dir, capsys):
+    cache_dir = str(experiment_dir / "cache")
+    main(
+        [
+            "run",
+            str(experiment_dir / "quickstart.toml"),
+            "--cache-dir",
+            cache_dir,
+        ]
+    )
+    capsys.readouterr()
+
+    listing = run_json(capsys, ["cache", "ls", "--cache-dir", cache_dir, "--json"])
+    assert listing["stats"]["n_entries"] == 1
+    assert listing["entries"][0]["kind"] == "run"
+
+    assert main(["cache", "gc", "--cache-dir", cache_dir]) == 0
+    assert "removed 0 entries" in capsys.readouterr().out
+
+    # clear refuses without --yes, then removes with it
+    assert main(["cache", "clear", "--cache-dir", cache_dir]) == 2
+    capsys.readouterr()
+    assert main(["cache", "clear", "--cache-dir", cache_dir, "--yes"]) == 0
+    assert "removed 1 entries" in capsys.readouterr().out
+    listing = run_json(capsys, ["cache", "ls", "--cache-dir", cache_dir, "--json"])
+    assert listing["stats"]["n_entries"] == 0
+
+
+def test_missing_experiment_file_is_a_config_error(tmp_path, capsys):
+    assert main(["run", str(tmp_path / "absent.toml")]) == 2
+    assert "no such experiment file" in capsys.readouterr().err
+
+
+def test_unknown_experiment_field_is_named(tmp_path, capsys):
+    path = tmp_path / "bad.toml"
+    path.write_text("frobnicate = true\n\n[scenario]\nfactory = \"charging\"\n")
+    assert main(["run", str(path)]) == 2
+    assert "frobnicate" in capsys.readouterr().err

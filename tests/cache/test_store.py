@@ -1,0 +1,163 @@
+"""Storage contract of the content-addressed result store.
+
+Hit/miss addressing, byte-identical trace round-trips, validate-on-load
+corruption handling, code-version-salt invalidation and the maintenance
+surface (`entries`/`stats`/`gc`/`clear`).
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cache import ResultStore, code_version_salt
+from repro.cache.store import CACHE_SCHEMA_VERSION
+from repro.core.errors import CacheCorruptionError, ConfigurationError
+from repro.core.results import SimulationResult, SolverStats, Trace
+
+
+def make_result() -> SimulationResult:
+    result = SimulationResult(
+        stats=SolverStats(
+            solver_name="proposed", cpu_time_s=0.25, n_accepted_steps=10,
+            final_time=0.1,
+        ),
+        metadata={"scenario": "unit", "controller_events": [(0.1, "wake")]},
+    )
+    trace = Trace("storage_voltage", "V")
+    trace.extend([0.0, 0.05, 0.1], [0.0, 1.5, 2.25])
+    result.add_trace(trace)
+    return result
+
+
+PAYLOAD = {"kind": "single", "scenario": {"name": "unit"}}
+
+
+def test_store_and_load_run_round_trips_traces_exactly(tmp_path):
+    store = ResultStore(tmp_path)
+    key = store.key_for(PAYLOAD)
+    assert store.load_run(key) is None  # miss before any write
+    store.store_run(key, make_result(), label="unit/proposed")
+
+    loaded = store.load_run(key)
+    assert loaded is not None
+    original = make_result()
+    assert loaded.stats == original.stats
+    trace = loaded["storage_voltage"]
+    assert trace.unit == "V"
+    assert np.array_equal(trace.times, original["storage_voltage"].times)
+    assert np.array_equal(trace.values, original["storage_voltage"].values)
+    # metadata is JSON-sanitised bookkeeping (tuples become lists)
+    assert loaded.metadata["scenario"] == "unit"
+
+
+def test_store_run_without_traces(tmp_path):
+    store = ResultStore(tmp_path)
+    key = store.key_for(PAYLOAD)
+    store.store_run(key, make_result(), store_traces=False)
+    loaded = store.load_run(key)
+    assert loaded.stats.cpu_time_s == 0.25
+    assert loaded.trace_names() == []
+
+
+def test_point_round_trip_and_kind_check(tmp_path):
+    store = ResultStore(tmp_path)
+    key = store.key_for({"kind": "sweep_point", "index": 3})
+    assert store.load_point(key) is None
+    store.store_point(key, score=1.25e-5, cpu_time_s=0.75, exact_rerun=True)
+    assert store.load_point(key) == {
+        "score": 1.25e-5,
+        "cpu_time_s": 0.75,
+        "exact_rerun": True,
+    }
+    # a run lookup on a point entry is corruption, not a silent miss
+    with pytest.raises(CacheCorruptionError, match="kind"):
+        store.load_run(key)
+
+
+def test_key_depends_on_payload_and_salt(tmp_path):
+    store = ResultStore(tmp_path)
+    assert store.key_for(PAYLOAD) == store.key_for(dict(PAYLOAD))
+    assert store.key_for(PAYLOAD) != store.key_for({**PAYLOAD, "kind": "x"})
+    other = ResultStore(tmp_path, salt="other-version")
+    assert store.key_for(PAYLOAD) != other.key_for(PAYLOAD)
+
+
+def test_unserialisable_payload_is_rejected(tmp_path):
+    store = ResultStore(tmp_path)
+    with pytest.raises(ConfigurationError, match="canonical JSON"):
+        store.key_for({"scenario": object()})
+
+
+def test_corrupt_entry_json_raises_on_load(tmp_path):
+    store = ResultStore(tmp_path)
+    key = store.key_for(PAYLOAD)
+    store.store_run(key, make_result())
+    entry_file = store._entry_dir(key) / "entry.json"
+    entry_file.write_text("{not json")
+    with pytest.raises(CacheCorruptionError, match="unreadable"):
+        store.load_run(key)
+
+
+def test_missing_trace_payload_is_corruption(tmp_path):
+    store = ResultStore(tmp_path)
+    key = store.key_for(PAYLOAD)
+    store.store_run(key, make_result())
+    (store._entry_dir(key) / "traces.npz").unlink()
+    with pytest.raises(CacheCorruptionError, match="traces"):
+        store.load_run(key)
+
+
+def test_schema_bump_is_corruption_and_gc_reclaims(tmp_path):
+    store = ResultStore(tmp_path)
+    key = store.key_for(PAYLOAD)
+    store.store_run(key, make_result())
+    entry_file = store._entry_dir(key) / "entry.json"
+    meta = json.loads(entry_file.read_text())
+    meta["schema"] = CACHE_SCHEMA_VERSION + 1
+    entry_file.write_text(json.dumps(meta))
+    with pytest.raises(CacheCorruptionError, match="schema"):
+        store.load_run(key)
+
+
+def test_stale_salt_entries_are_never_served_and_gc_reclaims(tmp_path):
+    old = ResultStore(tmp_path, salt="repro-0.9")
+    old_key = old.key_for(PAYLOAD)
+    old.store_run(old_key, make_result())
+
+    new = ResultStore(tmp_path, salt="repro-1.0")
+    # addressing includes the salt: the stale entry is simply unreachable
+    assert new.key_for(PAYLOAD) != old_key
+    assert new.load_run(new.key_for(PAYLOAD)) is None
+    # a hand-moved entry (same key, wrong recorded salt) is corruption
+    with pytest.raises(CacheCorruptionError, match="salt"):
+        new.load_run(old_key)
+
+    descriptors = dict(new.entries())
+    assert descriptors[old_key]["stale"] is True
+    assert new.gc() == 1
+    assert list(new.entries()) == []
+
+
+def test_stats_and_clear(tmp_path):
+    store = ResultStore(tmp_path)
+    run_key = store.key_for(PAYLOAD)
+    store.store_run(run_key, make_result())
+    store.store_point(
+        store.key_for({"kind": "sweep_point"}),
+        score=1.0,
+        cpu_time_s=0.1,
+        exact_rerun=False,
+    )
+    stats = store.stats()
+    assert stats["n_entries"] == 2
+    assert stats["n_runs"] == 1
+    assert stats["n_points"] == 1
+    assert stats["total_bytes"] > 0
+    assert store.clear() == 2
+    assert store.stats()["n_entries"] == 0
+
+
+def test_default_salt_tracks_package_version():
+    assert "repro-" in code_version_salt()
+    assert f"schema{CACHE_SCHEMA_VERSION}" in code_version_salt()
