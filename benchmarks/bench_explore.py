@@ -1,0 +1,157 @@
+"""Exploration budget: successive halving vs the dense tuning grid.
+
+PR 6's acceptance number: on the scenario-1 tuning grid (8 initial
+tuning points x 2 excitation amplitudes = 16 candidates) successive
+halving must recover the **same winner** as the dense grid while
+spending **at most 50 %** of the dense grid's simulation work.  Work is
+measured in candidate-equivalents (a candidate simulated at horizon
+``h`` costs ``h``), exactly what ``ExplorationResult.work_fraction``
+reports: the eta=3 schedule ``16 @ 1/9 -> 6 @ 1/3 -> 2 @ 1.0`` costs
+5.78 equivalents, ~36 % of the 16-candidate grid.
+
+The winner comparison is honest: the halving run's final round re-scores
+its survivors at full horizon, so the winning score is the dense grid's
+exact float, not a short-horizon estimate.
+
+Writes ``BENCH_explore.json`` (machine-readable, tracked across PRs and
+uploaded by the CI ``explore-smoke`` job) and
+``benchmarks/results/explore_halving.txt``.
+
+Run via pytest or directly::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_explore.py -q
+    PYTHONPATH=src python benchmarks/bench_explore.py [--quick]
+"""
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro import RunOptions, Study, scenario_1
+from repro.io.report import format_table
+
+#: required ceiling on halving's work fraction (the PR-6 acceptance number)
+MAX_WORK_FRACTION = 0.5
+
+JSON_PATH = Path("BENCH_explore.json")
+
+#: 8 x 2 = 16 tuning candidates around the paper's 70 -> 71 Hz shift
+GRID = {
+    "initial_tuned_frequency_hz": [67.0, 68.0, 69.0, 69.5, 70.0, 70.5, 71.0, 72.0],
+    "excitation_amplitude_ms2": [0.4, 0.59],
+}
+
+
+def _study(duration_s: float, options: RunOptions):
+    return (
+        Study.scenario(scenario_1(duration_s=duration_s, shift_time_s=0.2))
+        .options(options)
+        .sweep(GRID)
+    )
+
+
+def run_benchmark(*, duration_s: float = 1.5, n_workers: int = 2):
+    n_candidates = len(GRID["initial_tuned_frequency_hz"]) * len(
+        GRID["excitation_amplitude_ms2"]
+    )
+    base = RunOptions(n_workers=n_workers)
+
+    t0 = time.perf_counter()
+    dense = _study(duration_s, base).run()
+    t_dense = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    halved = _study(duration_s, base.replace(explore="halving")).run()
+    t_halving = time.perf_counter() - t0
+
+    dense_best = dense.best()
+    halved_best = halved.best()
+    assert dict(halved_best.parameters) == dict(dense_best.parameters), (
+        f"halving picked {dict(halved_best.parameters)} but the dense grid's "
+        f"winner is {dict(dense_best.parameters)}"
+    )
+    assert halved_best.score == dense_best.score, (
+        "the halving winner's full-horizon score must be the dense grid's "
+        f"exact float: {halved_best.score!r} != {dense_best.score!r}"
+    )
+    assert halved.work_fraction <= MAX_WORK_FRACTION, (
+        f"halving spent {halved.work_fraction:.1%} of the dense grid's work; "
+        f"the acceptance bound is {MAX_WORK_FRACTION:.0%}"
+    )
+
+    schedule = " -> ".join(
+        f"{len(record.points)} @ {record.horizon:.3g}x"
+        for record in halved.rounds
+    )
+    data = {
+        "benchmark": "explore_halving",
+        "n_candidates": n_candidates,
+        "duration_s": duration_s,
+        "n_workers": n_workers,
+        "dense_wall_s": t_dense,
+        "halving_wall_s": t_halving,
+        "halving_schedule": schedule,
+        "halving_work_units": halved.run.work_units,
+        "work_fraction": halved.work_fraction,
+        "max_work_fraction": MAX_WORK_FRACTION,
+        "winner": {
+            name: float(value)
+            for name, value in dense_best.parameters.items()
+        },
+        "winner_recovered": True,
+        "winner_score_identical": True,
+        "best_score": dense_best.score,
+    }
+    JSON_PATH.write_text(json.dumps(data, indent=2) + "\n")
+
+    report = format_table(
+        ["search", "wall [s]", "work [cand-eq]", "winner"],
+        [
+            [
+                "dense grid",
+                f"{t_dense:.2f}",
+                f"{float(n_candidates):.2f}",
+                f"{dense_best.parameters['initial_tuned_frequency_hz']:g} Hz",
+            ],
+            [
+                f"halving ({schedule})",
+                f"{t_halving:.2f}",
+                f"{halved.run.work_units:.2f}",
+                f"{halved_best.parameters['initial_tuned_frequency_hz']:g} Hz",
+            ],
+        ],
+        title=(
+            f"scenario-1 tuning search — {n_candidates} candidates x "
+            f"{duration_s:g} s, halving spends "
+            f"{halved.work_fraction:.0%} of the dense work "
+            f"(required <= {MAX_WORK_FRACTION:.0%}), same winner"
+        ),
+    )
+    return report, data
+
+
+def test_explore_halving_budget(report_writer):
+    report, _data = run_benchmark()
+    report_writer("explore_halving", report)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=(
+            "shorter per-candidate simulations (CI smoke); the grid stays "
+            "at 16 candidates, the schedule and the <= 50 % work bound are "
+            "unchanged — only the wall-clock shrinks"
+        ),
+    )
+    args = parser.parse_args()
+    report, _data = run_benchmark(duration_s=0.75 if args.quick else 1.5)
+    print(report)
+    print(f"\nwritten: {JSON_PATH}")
+
+
+if __name__ == "__main__":
+    main()

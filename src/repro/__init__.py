@@ -99,6 +99,7 @@ from .harvester import (
 from .api import (
     ComparisonResult,
     ExperimentSpec,
+    ExplorationResult,
     RunHandle,
     RunOptions,
     Study,
@@ -107,7 +108,7 @@ from .api import (
 from .cache import ResultStore
 from .io import load_experiment, save_experiment
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     # public API facade (the canonical entry layer)
@@ -115,6 +116,7 @@ __all__ = [
     "RunOptions",
     "RunHandle",
     "StudyResult",
+    "ExplorationResult",
     "ComparisonResult",
     # declarative experiments + result cache
     "ExperimentSpec",

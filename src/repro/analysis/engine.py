@@ -45,6 +45,13 @@ workload.  This module turns the serial loop of
   Candidates whose fast run trips the stability guard are transparently
   re-run with the exact every-step profile.
 
+Since the exploration refactor the engine also **drives candidate
+generation strategies** (:mod:`repro.explore`): :meth:`SweepEngine.run`
+is one round of :meth:`SweepEngine.run_explore` over the dense
+:class:`~repro.explore.GridStrategy`, and budgeted searches (seeded
+sampling, successive halving, grid extension) reuse the exact same
+dispatch/checkpoint/cache machinery round by round.
+
 Determinism contract: with the default profile (``relinearise_interval``
 unset or 1) the engine's scores are byte-identical to the plain serial
 loop, for any worker count — candidates are independent simulations and
@@ -486,18 +493,255 @@ class SweepEngine:
 
         The returned points are in candidate enumeration order regardless
         of completion order or worker count, so serial and parallel runs
-        produce identical results.
+        produce identical results.  Internally this is one round of
+        :meth:`run_explore` driven by the dense
+        :class:`~repro.explore.GridStrategy` — the historical dense-sweep
+        behaviour *is* the grid strategy, byte for byte.
         """
+        from ..explore import GridStrategy
+
+        exploration = self.run_explore(
+            sweep,
+            GridStrategy(sweep.parameters),
+            integrator=integrator,
+            settings=settings,
+        )
+        return exploration.final
+
+    def run_explore(
+        self, sweep, strategy, *, integrator=None, settings=None, seed=None
+    ):
+        """Drive an exploration strategy through rounds of sweep execution.
+
+        Each round the ``strategy`` proposes candidates (grid points plus
+        a simulation *horizon* — the fraction of the scenario duration to
+        run), the engine evaluates them with the full sweep machinery
+        (worker processes, batched lanes, checkpoint resume, the result
+        cache) and feeds the scores back through ``observe`` until the
+        strategy reports ``done()``.  Candidate indices are global across
+        rounds, so one checkpoint file covers the whole search; the
+        checkpoint config-hash folds in ``strategy.fingerprint()`` (and
+        ``seed``), so a checkpoint never resumes against a *different*
+        search.  Short-horizon candidates simulate
+        ``scenario.scaled(duration_s * horizon)`` — their cache entries
+        key on the scaled scenario and never collide with full runs.
+
+        Returns an :class:`~repro.explore.ExplorationRun`; its ``final``
+        :class:`SweepResult` holds the full-horizon points only, so
+        ``final.best()`` is always comparable to a dense sweep's.
+        """
+        from ..explore import (
+            ExplorationRoundRecord,
+            ExplorationRun,
+            Observation,
+            grid_size,
+        )
         from .sweep import SweepPoint, SweepResult
 
-        tasks = self._build_tasks(sweep, integrator, settings)
-        total = len(tasks)
-        outcomes: Dict[int, _Outcome] = {}
-
-        n_resumed = self._load_checkpoint(sweep, tasks, outcomes, integrator, settings)
-        n_cache_hits, tasks = self._apply_cache(
-            sweep, tasks, outcomes, integrator, settings
+        recorded = self._load_checkpoint_rows(
+            sweep, strategy, integrator, settings, seed
         )
+
+        schedule = strategy.schedule()
+        planned_total = (
+            sum(plan.n_candidates for plan in schedule) if schedule else None
+        )
+
+        rounds: List[ExplorationRoundRecord] = []
+        final_points: List[SweepPoint] = []
+        round_index = 0
+        offset = 0  # global candidate index across rounds
+        done_before = 0
+        any_parallel = False
+        n_evaluated_total = n_resumed_total = n_cache_hits_total = 0
+        n_exact_reruns = n_batched = 0
+        n_lane_blocks = n_batch_fallbacks = 0
+        work_units = 0.0
+
+        while not strategy.done():
+            proposals = strategy.propose(round_index)
+            if not proposals:
+                break
+            tasks = self._build_round_tasks(
+                sweep, proposals, offset, integrator, settings
+            )
+            outcomes: Dict[int, _Outcome] = {}
+            n_resumed = 0
+            for task in tasks:
+                row = recorded.get(task.index)
+                if row is not None:
+                    outcomes[task.index] = row
+                    n_resumed += 1
+            n_cache_hits, tasks = self._apply_cache(
+                sweep, tasks, outcomes, integrator, settings, seed=seed
+            )
+            total = (
+                planned_total if planned_total is not None else offset + len(tasks)
+            )
+            pending, parallel, blocks = self._evaluate_round(
+                tasks,
+                outcomes,
+                done_before=done_before,
+                total=total,
+                n_preloaded=n_resumed + n_cache_hits,
+            )
+
+            points: List[SweepPoint] = []
+            for proposal, task in zip(proposals, tasks):
+                outcome = outcomes[task.index]
+                metadata = {
+                    "cpu_time_s": outcome.cpu_time_s,
+                    "candidate_index": outcome.index,
+                    "exact_rerun": outcome.exact_rerun,
+                }
+                if proposal.horizon < 1.0:
+                    metadata["horizon"] = proposal.horizon
+                points.append(
+                    SweepPoint(
+                        parameters=dict(task.parameters),
+                        score=outcome.score,
+                        metadata=metadata,
+                    )
+                )
+            final_points.extend(
+                point
+                for proposal, point in zip(proposals, points)
+                if proposal.horizon >= 1.0
+            )
+
+            pending_set = {task.index for task in pending}
+            work_units += sum(
+                proposal.horizon
+                for proposal, task in zip(proposals, tasks)
+                if task.index in pending_set
+            )
+            rounds.append(
+                ExplorationRoundRecord(
+                    index=round_index,
+                    horizon=proposals[0].horizon,
+                    points=points,
+                    n_evaluated=len(pending),
+                    n_cache_hits=n_cache_hits,
+                    n_resumed=n_resumed,
+                )
+            )
+
+            strategy.observe(
+                [
+                    Observation(
+                        parameters=dict(proposal.parameters),
+                        horizon=proposal.horizon,
+                        score=outcomes[task.index].score,
+                    )
+                    for proposal, task in zip(proposals, tasks)
+                ]
+            )
+
+            any_parallel = any_parallel or parallel
+            n_evaluated_total += len(pending)
+            n_resumed_total += n_resumed
+            n_cache_hits_total += n_cache_hits
+            n_exact_reruns += sum(1 for o in outcomes.values() if o.exact_rerun)
+            n_batched += sum(1 for o in outcomes.values() if o.batched)
+            n_lane_blocks += sum(1 for block in blocks if len(block) > 1)
+            if self.backend == "batched":
+                n_batch_fallbacks += sum(1 for block in blocks if len(block) == 1)
+            done_before += len(outcomes)
+            offset += len(tasks)
+            round_index += 1
+
+        if not rounds:
+            raise ConfigurationError(
+                "the exploration strategy proposed no candidates"
+            )
+
+        final = SweepResult(metric_name=sweep.metric_name)
+        final.points.extend(final_points)
+        final.engine_info = EngineRunInfo(
+            n_workers=self.n_workers,
+            n_candidates=offset,
+            n_evaluated=n_evaluated_total,
+            n_resumed=n_resumed_total,
+            n_exact_reruns=n_exact_reruns,
+            parallel=any_parallel,
+            relinearise_interval=self.relinearise_interval,
+            backend=self.backend,
+            n_lane_blocks=n_lane_blocks,
+            n_batch_fallbacks=n_batch_fallbacks,
+            n_batched_candidates=n_batched,
+            n_cache_hits=n_cache_hits_total,
+            cache=self.cache,
+        )
+
+        survivors_fn = getattr(strategy, "survivors", None)
+        if callable(survivors_fn):
+            survivors = survivors_fn()
+        else:
+            survivors = [dict(point.parameters) for point in final_points]
+        return ExplorationRun(
+            strategy=strategy.name,
+            final=final,
+            rounds=rounds,
+            survivors=survivors,
+            n_candidates=offset,
+            n_simulations=n_evaluated_total,
+            n_cache_hits=n_cache_hits_total,
+            n_resumed=n_resumed_total,
+            work_units=work_units,
+            full_grid_work=float(grid_size(sweep.parameters)),
+        )
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _build_round_tasks(
+        self, sweep, proposals, offset: int, integrator, settings
+    ) -> List[_Task]:
+        """Resolve one round of proposals into fully-specified tasks.
+
+        Indices are offset by the number of candidates proposed in earlier
+        rounds, so checkpoints refer to one global candidate sequence.
+        Short-horizon proposals scale the candidate scenario's duration —
+        everything downstream (solver settings derivation, cache keys,
+        topology grouping) sees an ordinary shorter scenario.
+        """
+        tasks: List[_Task] = []
+        for i, proposal in enumerate(proposals):
+            scenario = sweep.candidate_scenario(dict(proposal.parameters))
+            if proposal.horizon < 1.0:
+                scenario = scenario.scaled(scenario.duration_s * proposal.horizon)
+            tasks.append(
+                _Task(
+                    index=offset + i,
+                    parameters=dict(proposal.parameters),
+                    scenario=scenario,
+                    metric=sweep.metric,
+                    integrator=integrator,
+                    settings=settings,
+                    relinearise_interval=self.relinearise_interval,
+                    reuse_assembly=self.reuse_assembly,
+                )
+            )
+        return tasks
+
+    def _evaluate_round(
+        self,
+        tasks: Sequence[_Task],
+        outcomes: Dict[int, _Outcome],
+        *,
+        done_before: int,
+        total: int,
+        n_preloaded: int,
+    ):
+        """Dispatch one round's pending tasks and fill ``outcomes``.
+
+        Returns ``(pending, parallel, blocks)`` for the caller's
+        bookkeeping.  ``done_before``/``total`` offset the progress
+        callback so a multi-round exploration reports one monotonic
+        ``done/total`` sequence across rounds.
+        """
+        from .sweep import SweepPoint
+
         pending = [task for task in tasks if task.index not in outcomes]
 
         # one work unit is a lane block: several same-topology candidates
@@ -518,17 +762,19 @@ class SweepEngine:
             )
             parallel = False
 
+        task_by_index = {task.index: task for task in tasks}
+
         def emit_progress() -> None:
             if self.progress is None or not outcomes:
                 return
             best = max(outcomes.values(), key=lambda o: o.score)
-            task = tasks[best.index]
+            task = task_by_index[best.index]
             point = SweepPoint(
                 parameters=dict(task.parameters),
                 score=best.score,
                 metadata={"cpu_time_s": best.cpu_time_s},
             )
-            self.progress(len(outcomes), total, point)
+            self.progress(done_before + len(outcomes), total, point)
 
         def record(outcome: _Outcome) -> None:
             outcomes[outcome.index] = outcome
@@ -544,7 +790,7 @@ class SweepEngine:
                 )
             emit_progress()
 
-        if n_resumed or n_cache_hits:
+        if n_preloaded:
             emit_progress()
 
         if parallel:
@@ -553,66 +799,7 @@ class SweepEngine:
             for block in blocks:
                 for outcome in _evaluate_lane_block(block):
                     record(outcome)
-
-        result = SweepResult(metric_name=sweep.metric_name)
-        for task in tasks:
-            outcome = outcomes[task.index]
-            result.points.append(
-                SweepPoint(
-                    parameters=dict(task.parameters),
-                    score=outcome.score,
-                    metadata={
-                        "cpu_time_s": outcome.cpu_time_s,
-                        "candidate_index": outcome.index,
-                        "exact_rerun": outcome.exact_rerun,
-                    },
-                )
-            )
-        result.engine_info = EngineRunInfo(
-            n_workers=self.n_workers,
-            n_candidates=total,
-            n_evaluated=len(pending),
-            n_resumed=n_resumed,
-            n_exact_reruns=sum(1 for o in outcomes.values() if o.exact_rerun),
-            parallel=parallel,
-            relinearise_interval=self.relinearise_interval,
-            backend=self.backend,
-            n_lane_blocks=sum(1 for block in blocks if len(block) > 1),
-            n_batch_fallbacks=(
-                sum(1 for block in blocks if len(block) == 1)
-                if self.backend == "batched"
-                else 0
-            ),
-            n_batched_candidates=sum(
-                1 for o in outcomes.values() if o.batched
-            ),
-            n_cache_hits=n_cache_hits,
-            cache=self.cache,
-        )
-        return result
-
-    # ------------------------------------------------------------------ #
-    # internals
-    # ------------------------------------------------------------------ #
-    def _build_tasks(self, sweep, integrator, settings) -> List[_Task]:
-        tasks: List[_Task] = []
-        for index, candidate in enumerate(sweep.candidates()):
-            scenario = sweep.candidate_scenario(candidate)
-            tasks.append(
-                _Task(
-                    index=index,
-                    parameters=dict(candidate),
-                    scenario=scenario,
-                    metric=sweep.metric,
-                    integrator=integrator,
-                    settings=settings,
-                    relinearise_interval=self.relinearise_interval,
-                    reuse_assembly=self.reuse_assembly,
-                )
-            )
-        if not tasks:
-            raise ConfigurationError("the sweep produced no candidates")
-        return tasks
+        return pending, parallel, blocks
 
     def _plan_lane_blocks(self, pending: Sequence[_Task]) -> List[List[_Task]]:
         """Partition pending candidates into lane blocks for the batched backend.
@@ -647,7 +834,9 @@ class SweepEngine:
         blocks.sort(key=lambda block: block[0].index)
         return blocks
 
-    def _execution_fingerprint(self, integrator, settings) -> Dict[str, object]:
+    def _execution_fingerprint(
+        self, integrator, settings, seed=None
+    ) -> Dict[str, object]:
         """The canonical result-affecting options fingerprint of this run.
 
         One helper — :func:`repro.api.options.execution_fingerprint` —
@@ -663,9 +852,12 @@ class SweepEngine:
             settings=settings,
             relinearise_interval=self.relinearise_interval,
             backend=self.backend,
+            seed=seed,
         )
 
-    def _checkpoint_metadata(self, sweep, integrator, settings) -> Dict[str, str]:
+    def _checkpoint_metadata(
+        self, sweep, integrator, settings, *, strategy=None, seed=None
+    ) -> Dict[str, str]:
         # the grid/config hash covers the parameter *values* (not just
         # names), the canonical execution fingerprint (solver profile,
         # integrator, settings, backend — shared with the cache keys) and
@@ -680,28 +872,36 @@ class SweepEngine:
             getattr(scenario, "duration_s", None),
             _topology_key(scenario),
         )
-        digest = hashlib.sha256(
-            repr(
-                (
-                    sweep.metric_name,
-                    sorted(
-                        (name, tuple(values))
-                        for name, values in sweep.parameters.items()
-                    ),
-                    _json.dumps(
-                        self._execution_fingerprint(integrator, settings),
-                        sort_keys=True,
-                    ),
-                    scenario_fingerprint,
-                )
-            ).encode()
-        ).hexdigest()[:16]
-        return {
+        # a strategy fingerprint of None means "legacy grid-compatible":
+        # the digest tuple stays exactly the dense sweep's, so a grid
+        # exploration resumes pre-existing dense-sweep checkpoints (and
+        # vice versa); every other strategy folds its configuration in,
+        # so a checkpoint never resumes against a different search
+        strategy_fp = None if strategy is None else strategy.fingerprint()
+        identity = (
+            sweep.metric_name,
+            sorted(
+                (name, tuple(values))
+                for name, values in sweep.parameters.items()
+            ),
+            _json.dumps(
+                self._execution_fingerprint(integrator, settings, seed=seed),
+                sort_keys=True,
+            ),
+            scenario_fingerprint,
+        )
+        if strategy_fp is not None:
+            identity = identity + (_json.dumps(strategy_fp, sort_keys=True),)
+        digest = hashlib.sha256(repr(identity).encode()).hexdigest()[:16]
+        metadata = {
             "metric": sweep.metric_name,
             "parameters": " ".join(sorted(sweep.parameters)),
             "backend": self.backend,
             "grid": digest,
         }
+        if strategy_fp is not None:
+            metadata["strategy"] = strategy.name
+        return metadata
 
     def _apply_cache(
         self,
@@ -710,6 +910,7 @@ class SweepEngine:
         outcomes: Dict[int, _Outcome],
         integrator,
         settings,
+        seed=None,
     ):
         """Serve candidates from the result store; arm misses for writing.
 
@@ -740,7 +941,7 @@ class SweepEngine:
                 "the cache"
             )
         store = ResultStore(self.cache_dir)
-        fingerprint = self._execution_fingerprint(integrator, settings)
+        fingerprint = self._execution_fingerprint(integrator, settings, seed=seed)
         n_cache_hits = 0
         armed: List[_Task] = []
         for task in tasks:
@@ -784,40 +985,40 @@ class SweepEngine:
             armed.append(task)
         return n_cache_hits, armed
 
-    def _load_checkpoint(
-        self,
-        sweep,
-        tasks: Sequence[_Task],
-        outcomes: Dict[int, _Outcome],
-        integrator,
-        settings,
-    ) -> int:
-        """Fill ``outcomes`` from an existing checkpoint; returns the count.
+    def _load_checkpoint_rows(
+        self, sweep, strategy, integrator, settings, seed
+    ) -> Dict[int, _Outcome]:
+        """Recorded outcomes of an existing checkpoint, by global index.
 
         A fresh header is written when no (valid) checkpoint exists.  A
-        checkpoint written by a different sweep (metric or parameter names
-        differ) is rejected loudly rather than silently merged.
+        checkpoint written by a different sweep — different metric,
+        parameter values, execution profile, or exploration strategy —
+        is rejected loudly rather than silently merged.  Rows are keyed
+        on the global candidate index, so a multi-round exploration
+        resumes every round it completed (a deterministic strategy
+        re-proposes the same candidates in the same order).
         """
         path = self.checkpoint_path
         if path is None:
-            return 0
-        expected = self._checkpoint_metadata(sweep, integrator, settings)
+            return {}
+        expected = self._checkpoint_metadata(
+            sweep, integrator, settings, strategy=strategy, seed=seed
+        )
         if not os.path.exists(path):
             write_checkpoint_header(path, _CHECKPOINT_FIELDS, expected)
-            return 0
+            return {}
         rows = validate_checkpoint(path, expected, _CHECKPOINT_FIELDS)
-        n_resumed = 0
+        recorded: Dict[int, _Outcome] = {}
         for row in rows:
             index = int(row[0])
-            if 0 <= index < len(tasks) and index not in outcomes:
-                outcomes[index] = _Outcome(
+            if index >= 0 and index not in recorded:
+                recorded[index] = _Outcome(
                     index=index,
                     score=float(row[1]),
                     cpu_time_s=float(row[2]),
                     exact_rerun=bool(int(row[3])),
                 )
-                n_resumed += 1
-        return n_resumed
+        return recorded
 
     @staticmethod
     def _parallelisable(tasks: Sequence[_Task]) -> bool:

@@ -33,7 +33,6 @@ distinct topology, keyed by the spec's structural hash.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -165,10 +164,15 @@ class ParameterSweep:
         self.metric_name = metric_name
 
     def candidates(self) -> Iterable[Dict[str, object]]:
-        """Iterate over the full parameter grid."""
-        names = list(self.parameters)
-        for combination in itertools.product(*(self.parameters[n] for n in names)):
-            yield dict(zip(names, combination))
+        """Iterate over the full parameter grid.
+
+        Delegates to :func:`repro.explore.grid_candidates` — the one
+        canonical grid enumeration, shared with every exploration
+        strategy so checkpoints and strategies agree on candidate order.
+        """
+        from ..explore import grid_candidates
+
+        return grid_candidates(self.parameters)
 
     def candidate_scenario(self, candidate: Mapping[str, object]):
         """The scenario evaluating one grid point.

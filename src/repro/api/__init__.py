@@ -13,9 +13,9 @@ another free-function entry point:
   ``Study.scenario(...).options(...).sweep(...).run()`` dispatches single
   runs, multi-solver comparisons and sweeps through one execution
   planner (:mod:`repro.api.planner`);
-* :class:`RunHandle` / :class:`StudyResult` / :class:`ComparisonResult`
-  — typed result wrappers with uniform ``summary()`` / ``format()`` /
-  ``export_csv()``;
+* :class:`RunHandle` / :class:`StudyResult` / :class:`ExplorationResult`
+  / :class:`ComparisonResult` — typed result wrappers with uniform
+  ``summary()`` / ``format()`` / ``export_csv()``;
 * :class:`ExperimentSpec` — the declarative form: a whole experiment
   (scenario + options + solver dispatch + sweep grid) as serialisable
   data with JSON/TOML round-trip, a stable ``content_hash()`` feeding
@@ -30,7 +30,7 @@ deprecation shims over this facade and return byte-identical results
 
 from .options import BACKENDS, CACHE_MODES, RunOptions, execution_fingerprint
 from .planner import SOLVERS, ExecutionPlan
-from .results import ComparisonResult, RunHandle, StudyResult
+from .results import ComparisonResult, ExplorationResult, RunHandle, StudyResult
 from .study import Study
 from .experiment import ExperimentSpec, SweepAxis, SweepSpec
 
@@ -39,6 +39,7 @@ __all__ = [
     "RunOptions",
     "RunHandle",
     "StudyResult",
+    "ExplorationResult",
     "ComparisonResult",
     "ExecutionPlan",
     "ExperimentSpec",

@@ -82,7 +82,11 @@ _EXPERIMENT_FIELDS = (
     "solver_kwargs",
     "compare",
     "sweep",
+    "explore",
 )
+
+#: keys of the ``[explore]`` experiment section (folded into RunOptions)
+_EXPLORE_FIELDS = ("strategy", "budget", "seed")
 
 
 def _metrics() -> Dict[str, Tuple[Callable, str]]:
@@ -162,6 +166,54 @@ def scenario_from_dict(data: Mapping[str, object]):
         "{'factory': ...} reference or an inline 'scenario' / "
         "'spec_scenario' table"
     )
+
+
+def _fold_explore_section(explore_data, options_data) -> Dict[str, object]:
+    """Merge an ``[explore]`` experiment section into the options dict.
+
+    The section is sugar over ``RunOptions(explore=, budget=, seed=)``;
+    naming a knob in both places is rejected rather than silently
+    resolved, mirroring every other duplication check in this module.
+    """
+    if not isinstance(explore_data, Mapping):
+        raise ConfigurationError(
+            f"experiment explore must be a table/dict, got "
+            f"{type(explore_data).__name__}"
+        )
+    unknown = set(explore_data) - set(_EXPLORE_FIELDS)
+    if unknown:
+        raise ConfigurationError(
+            f"explore dict has unknown fields {sorted(unknown)}; valid "
+            f"fields are {list(_EXPLORE_FIELDS)}"
+        )
+    if "strategy" not in explore_data:
+        raise ConfigurationError(
+            "explore dict needs a 'strategy' naming the exploration "
+            "strategy (see repro.explore.EXPLORE_STRATEGIES)"
+        )
+    if not isinstance(options_data, Mapping):
+        raise ConfigurationError(
+            f"experiment options must be a table/dict, got "
+            f"{type(options_data).__name__}"
+        )
+    merged = dict(options_data)
+    for section_key, option_key in (
+        ("strategy", "explore"),
+        ("budget", "budget"),
+        ("seed", "seed"),
+    ):
+        if section_key not in explore_data:
+            continue
+        if option_key in merged:
+            raise ConfigurationError(
+                f"experiment names {option_key!r} in both [options] and "
+                f"[explore]; keep the exploration knobs in [explore] only"
+            )
+        value = explore_data[section_key]
+        merged[option_key] = (
+            str(value) if section_key == "strategy" else int(value)
+        )
+    return merged
 
 
 @dataclass(frozen=True)
@@ -323,6 +375,12 @@ class ExperimentSpec:
                 "incoherent experiment: sweep with compare — a sweep always "
                 "runs the proposed solver; drop one of the two"
             )
+        if self.options.explore is not None and self.sweep is None:
+            raise ConfigurationError(
+                f"incoherent experiment: explore={self.options.explore!r} "
+                "without a sweep — exploration strategies generate sweep "
+                "candidates; add a [sweep] section or drop [explore]"
+            )
 
     # ------------------------------------------------------------------ #
     # interconversion with the fluent form
@@ -350,8 +408,21 @@ class ExperimentSpec:
             data["description"] = self.description
         data["scenario"] = scenario_to_dict(self.scenario)
         options = self.options.to_dict()
+        # the exploration knobs live on RunOptions but serialise as their
+        # own [explore] section — the strategy is experiment design, not
+        # an execution detail, and deserves first-class visibility in the
+        # file format
+        explore: Dict[str, object] = {}
+        if options.pop("explore", None) is not None:
+            explore["strategy"] = self.options.explore
+            if options.pop("budget", None) is not None:
+                explore["budget"] = self.options.budget
+            if options.pop("seed", None) is not None:
+                explore["seed"] = self.options.seed
         if options:
             data["options"] = options
+        if explore:
+            data["explore"] = explore
         if self.solver != "proposed":
             data["solver"] = self.solver
         if self.solver_kwargs:
@@ -384,6 +455,9 @@ class ExperimentSpec:
                 "experiment dict needs at least a 'scenario' section"
             )
         options_data = data.get("options", {})
+        explore_data = data.get("explore")
+        if explore_data is not None:
+            options_data = _fold_explore_section(explore_data, options_data)
         solver_kwargs = data.get("solver_kwargs", {})
         if not isinstance(solver_kwargs, Mapping):
             raise ConfigurationError(
@@ -459,6 +533,16 @@ class ExperimentSpec:
                 "metric": self.sweep.metric,
                 "metric_name": metric_name,
             }
+        if self.options.explore is not None:
+            # the strategy (and its budget) determines *which* candidates
+            # run, so two explorations of the same grid with different
+            # strategies are different experiments (the seed is already in
+            # the execution fingerprint above)
+            payload["explore"] = {
+                "strategy": self.options.explore,
+                "budget": self.options.budget,
+                "seed": self.options.seed,
+            }
         return payload
 
     def content_hash(self) -> str:
@@ -480,6 +564,11 @@ class ExperimentSpec:
             axes = " x ".join(
                 f"{axis.name}[{len(axis.values)}]" for axis in self.sweep.axes
             )
+            if self.options.explore is not None:
+                return (
+                    f"experiment {label!r}: {self.options.explore!r} "
+                    f"exploration over {axes}"
+                )
             return f"experiment {label!r}: sweep over {axes}"
         if self.compare:
             return f"experiment {label!r}: compare {', '.join(self.compare)}"

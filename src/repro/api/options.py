@@ -43,6 +43,7 @@ def execution_fingerprint(
     settings: Optional[SolverSettings] = None,
     relinearise_interval: Optional[int] = None,
     backend: str = "process",
+    seed: Optional[int] = None,
 ) -> Dict[str, object]:
     """Canonical fingerprint of everything that can change a *result*.
 
@@ -54,7 +55,9 @@ def execution_fingerprint(
     (``n_workers``, ``lane_width``, checkpointing, progress, cache mode) —
     the engine's determinism contract (and the documented 10 % adaptive
     shared-step tolerance for the batched backend, which *is* included via
-    ``backend``) covers those.
+    ``backend``) covers those.  ``seed`` *is* included: a seeded
+    exploration samples a different candidate set per seed, so its results
+    must never collide with another seed's in the cache.
     """
     if integrator is None:
         integrator_form = None
@@ -70,6 +73,7 @@ def execution_fingerprint(
             None if relinearise_interval is None else int(relinearise_interval)
         ),
         "backend": str(backend),
+        "seed": None if seed is None else int(seed),
     }
 
 
@@ -131,6 +135,23 @@ class RunOptions:
         Whether cached single-run entries include the full waveform traces
         (on by default; scores/stats are always stored).  A run served
         from a traces-free entry has summary statistics but no traces.
+    explore:
+        Exploration strategy for sweep candidate generation
+        (:mod:`repro.explore`): ``None`` (default) and ``"grid"`` run the
+        dense cartesian grid (byte-identical); ``"random"`` / ``"latin"``
+        sample a seeded ``budget``-point subset; ``"halving"`` eliminates
+        weak candidates on short-horizon scores; ``"extend"`` re-runs a
+        superset grid with previously swept points served from the cache
+        (requires ``cache != "off"``).
+    budget:
+        Candidate budget for sampling strategies (number of grid points
+        to draw), or the optional initial-pool size for ``"halving"``.
+        Only valid together with ``explore``.
+    seed:
+        Seed for the sampled candidate subset.  Required by
+        ``"random"``/``"latin"`` (and by ``"halving"`` with a sub-grid
+        ``budget``); folded into the execution fingerprint so cache
+        entries and checkpoints never mix candidates across seeds.
     """
 
     integrator: Optional[ExplicitIntegrator] = None
@@ -146,6 +167,9 @@ class RunOptions:
     cache: str = "off"
     cache_dir: Optional[str] = None
     store_traces: bool = True
+    explore: Optional[str] = None
+    budget: Optional[int] = None
+    seed: Optional[int] = None
 
     def __post_init__(self) -> None:
         self.validate()
@@ -217,6 +241,58 @@ class RunOptions:
                 "cache='off' — the store is never consulted; drop cache_dir "
                 "or select cache='read'/'readwrite'"
             )
+        self._validate_explore()
+
+    def _validate_explore(self) -> None:
+        """Pairwise coherence of the exploration knobs (eager, like the rest)."""
+        if self.budget is not None and self.budget < 1:
+            raise ConfigurationError(f"budget must be at least 1, got {self.budget}")
+        if self.explore is None:
+            for knob, value in (("budget", self.budget), ("seed", self.seed)):
+                if value is not None:
+                    raise ConfigurationError(
+                        f"incoherent options: {knob}={value!r} without "
+                        "explore= — the knob configures an exploration "
+                        "strategy; pick one (e.g. explore='random') or "
+                        "drop it"
+                    )
+            return
+        from ..explore import EXPLORE_STRATEGIES
+
+        if self.explore not in EXPLORE_STRATEGIES:
+            raise ConfigurationError(
+                f"unknown exploration strategy {self.explore!r}; choose "
+                f"from {sorted(EXPLORE_STRATEGIES)}"
+            )
+        if self.explore in ("grid", "extend"):
+            for knob, value in (("budget", self.budget), ("seed", self.seed)):
+                if value is not None:
+                    raise ConfigurationError(
+                        f"incoherent options: {knob}={value!r} with "
+                        f"explore={self.explore!r} — the dense enumeration "
+                        f"takes no {knob}; drop it or pick a "
+                        "sampling/halving strategy"
+                    )
+        if self.explore in ("random", "latin"):
+            for knob, value in (("budget", self.budget), ("seed", self.seed)):
+                if value is None:
+                    raise ConfigurationError(
+                        f"explore={self.explore!r} needs a {knob} — sampled "
+                        "candidate subsets must be sized and reproducible; "
+                        f"pass RunOptions({knob}=...)"
+                    )
+        if self.explore == "halving" and self.seed is not None and self.budget is None:
+            raise ConfigurationError(
+                "incoherent options: seed without budget for "
+                "explore='halving' — halving over the full grid is "
+                "deterministic; drop seed or pass budget < grid size"
+            )
+        if self.explore == "extend" and self.cache == "off":
+            raise ConfigurationError(
+                "incoherent options: explore='extend' with cache='off' — "
+                "grid extension serves previously swept points from the "
+                "result cache; select cache='read' or 'readwrite'"
+            )
 
     def validate_for_sweep(self) -> None:
         """Additional coherence checks for sweep dispatch."""
@@ -255,6 +331,46 @@ class RunOptions:
                 f"incoherent options: n_workers={self.n_workers} with a "
                 "single run — worker processes only apply to sweeps"
             )
+        self._reject_explore_knobs("a single run")
+
+    def validate_for_compare(self) -> None:
+        """Additional coherence checks for comparison dispatch.
+
+        A comparison is a set of single-run legs, so the sweep-only knobs
+        are rejected exactly as for one run — except ``n_workers``, which
+        fans the legs out across worker processes.
+        """
+        for knob, value in (
+            ("checkpoint_path", self.checkpoint_path),
+            ("progress", self.progress),
+            ("lane_width", self.lane_width),
+        ):
+            if value is not None:
+                raise ConfigurationError(
+                    f"incoherent options: {knob}={value!r} with a "
+                    "comparison — this knob only applies to sweeps; drop "
+                    "it or add .sweep(...) to the study"
+                )
+        if self.backend != "process":
+            raise ConfigurationError(
+                f"incoherent options: backend={self.backend!r} with a "
+                "comparison — backends select how sweep candidates are "
+                "executed; comparison legs always run the scalar solver"
+            )
+        self._reject_explore_knobs("a comparison")
+
+    def _reject_explore_knobs(self, context: str) -> None:
+        for knob, value in (
+            ("explore", self.explore),
+            ("budget", self.budget),
+            ("seed", self.seed),
+        ):
+            if value is not None:
+                raise ConfigurationError(
+                    f"incoherent options: {knob}={value!r} with {context} — "
+                    "exploration strategies generate sweep candidates; drop "
+                    "it or add .sweep(...) to the study"
+                )
 
     # ------------------------------------------------------------------ #
     # canonical serialisation (the declarative-experiment form)
@@ -363,6 +479,7 @@ class RunOptions:
             settings=self.settings,
             relinearise_interval=self.relinearise_interval,
             backend=self.backend,
+            seed=self.seed,
         )
 
     # ------------------------------------------------------------------ #

@@ -25,7 +25,10 @@ here, not at the call sites.
 
 from __future__ import annotations
 
+import os
+import pickle
 import warnings
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace as dataclasses_replace
 from typing import Dict, Mapping, Optional, Tuple
 
@@ -39,15 +42,22 @@ from ..harvester.scenarios import (
     scenario_solver_settings,
 )
 from .options import RunOptions
-from .results import ComparisonResult, RunHandle, StudyResult
+from .results import ComparisonResult, ExplorationResult, RunHandle, StudyResult
 
-__all__ = ["ExecutionPlan", "SOLVERS", "plan", "execute", "execute_sweep"]
+__all__ = [
+    "ExecutionPlan",
+    "SOLVERS",
+    "plan",
+    "execute",
+    "execute_sweep",
+    "execute_explore",
+]
 
 #: solver families the planner can dispatch a scenario to
 SOLVERS = ("proposed", "baseline", "reference")
 
 #: plan kinds
-_KINDS = ("single", "compare", "sweep")
+_KINDS = ("single", "compare", "sweep", "explore")
 
 
 @dataclass(frozen=True)
@@ -55,8 +65,9 @@ class ExecutionPlan:
     """Frozen description of one facade execution, ready to run.
 
     ``kind`` selects the dispatch: ``"single"`` (one scenario, one
-    solver), ``"compare"`` (one scenario, several solvers) or ``"sweep"``
-    (a candidate grid through the sweep engine).
+    solver), ``"compare"`` (one scenario, several solvers), ``"sweep"``
+    (a dense candidate grid through the sweep engine) or ``"explore"``
+    (a budgeted search strategy over the grid, :mod:`repro.explore`).
     """
 
     kind: str
@@ -65,7 +76,7 @@ class ExecutionPlan:
     solver: str = "proposed"
     solver_kwargs: Mapping[str, object] = field(default_factory=dict)
     compare_solvers: Tuple[str, ...] = ()
-    sweep: Optional[object] = None  # a ParameterSweep when kind == "sweep"
+    sweep: Optional[object] = None  # a ParameterSweep when kind is sweep/explore
 
     def describe(self) -> str:
         """One-line human-readable description of what will run."""
@@ -78,6 +89,22 @@ class ExecutionPlan:
             f"{param}[{len(values)}]"
             for param, values in self.sweep.parameters.items()
         )
+        if self.kind == "explore":
+            # a throwaway strategy instance previews the round schedule;
+            # the one that actually runs is built at execution time
+            # (strategies are stateful)
+            schedule = _build_strategy(self.sweep, self.options).schedule()
+            rounds = (
+                " -> ".join(plan.describe() for plan in schedule)
+                if schedule
+                else "dynamic rounds"
+            )
+            return (
+                f"exploration of {name!r} over {axes} with "
+                f"{self.options.explore!r} ({rounds}; "
+                f"backend={self.options.backend!r}, "
+                f"n_workers={self.options.n_workers})"
+            )
         return (
             f"sweep of {name!r} over {axes} "
             f"(backend={self.options.backend!r}, "
@@ -109,7 +136,7 @@ def plan(study) -> ExecutionPlan:
             )
         options.validate_for_sweep()
         return ExecutionPlan(
-            kind="sweep",
+            kind="sweep" if options.explore is None else "explore",
             scenario=study._scenario,
             options=options,
             sweep=study._sweep,
@@ -117,7 +144,7 @@ def plan(study) -> ExecutionPlan:
     if study._compare_solvers:
         for solver in study._compare_solvers:
             _check_solver(solver)
-        options.validate_for_single_run()
+        options.validate_for_compare()
         return ExecutionPlan(
             kind="compare",
             scenario=study._scenario,
@@ -162,17 +189,65 @@ def execute(plan_: ExecutionPlan):
             relinearise_interval=None,
             assembly_structure=None,
         )
-        handles: Dict[str, RunHandle] = {}
+        legs = []
         for solver in plan_.compare_solvers:
             options = plan_.options if solver == "proposed" else stripped
             kwargs = {} if solver == "proposed" else plan_.solver_kwargs
-            handles[solver] = _execute_single(
-                plan_.scenario, options, solver, kwargs
-            )
-        return ComparisonResult(handles)
+            legs.append((solver, options, kwargs))
+        return ComparisonResult(_execute_compare_legs(plan_.scenario, legs))
     if plan_.kind == "sweep":
         return execute_sweep(plan_.sweep, plan_.options)
+    if plan_.kind == "explore":
+        return execute_explore(plan_.sweep, plan_.options)
     raise ConfigurationError(f"unknown plan kind {plan_.kind!r}")  # pragma: no cover
+
+
+def _execute_compare_legs(scenario, legs) -> Dict[str, RunHandle]:
+    """Run the legs of a comparison, fanned out across worker processes.
+
+    The legs are independent single runs (typically one cheap proposed
+    run next to an expensive Newton-Raphson baseline), so with
+    ``n_workers > 1`` they run concurrently — each leg still goes through
+    the cache-aware :func:`_execute_single`, so a warm store serves e.g.
+    the baseline leg without simulating it.  Results are collected in
+    comparison order regardless of completion order; non-picklable
+    scenarios/options fall back to the serial loop, mirroring the sweep
+    engine.
+    """
+    n_workers = legs[0][1].n_workers if legs else 1
+    if n_workers is None:
+        n_workers = os.cpu_count() or 1
+    parallel = n_workers > 1 and len(legs) > 1
+    if parallel:
+        try:
+            pickle.dumps((scenario, legs))
+        except Exception:
+            warnings.warn(
+                "comparison uses a non-picklable scenario/options; "
+                "falling back to serial evaluation",
+                stacklevel=2,
+            )
+            parallel = False
+    if not parallel:
+        return {
+            solver: _execute_single(scenario, options, solver, kwargs)
+            for solver, options, kwargs in legs
+        }
+    import multiprocessing as mp
+
+    # fork (where available) shares the parent's loaded modules — worker
+    # start-up is milliseconds instead of a fresh interpreter per leg
+    context = None
+    if "fork" in mp.get_all_start_methods():
+        context = mp.get_context("fork")
+    with ProcessPoolExecutor(
+        max_workers=min(n_workers, len(legs)), mp_context=context
+    ) as pool:
+        futures = [
+            (solver, pool.submit(_execute_single, scenario, options, solver, kwargs))
+            for solver, options, kwargs in legs
+        ]
+        return {solver: future.result() for solver, future in futures}
 
 
 def _single_run_cache(
@@ -333,3 +408,58 @@ def execute_sweep(sweep, options: RunOptions) -> StudyResult:
         sweep, integrator=options.integrator, settings=options.settings
     )
     return StudyResult(sweep_result)
+
+
+def _build_strategy(sweep, options: RunOptions):
+    """A fresh strategy instance for this (sweep, options) pair.
+
+    Strategies are stateful (``observe`` advances them), so every
+    execution — and every plan description — builds its own.
+    """
+    from ..explore import make_strategy
+
+    if options.explore is None:
+        raise ConfigurationError(
+            "an exploration needs options.explore to name a strategy"
+        )
+    return make_strategy(
+        options.explore,
+        sweep.parameters,
+        budget=options.budget,
+        seed=options.seed,
+    )
+
+
+def execute_explore(sweep, options: RunOptions) -> ExplorationResult:
+    """A budgeted search strategy over the sweep grid, through the engine.
+
+    The exploration counterpart of :func:`execute_sweep`: builds the
+    strategy named by ``options.explore`` (:mod:`repro.explore`) and
+    drives it through :meth:`~repro.analysis.engine.SweepEngine.run_explore`
+    — every engine feature (worker processes, batched lanes, checkpoints,
+    the result cache) composes with every strategy unchanged.
+    """
+    from ..analysis.engine import SweepEngine
+
+    options.validate_for_sweep()
+    strategy = _build_strategy(sweep, options)
+    engine = SweepEngine(
+        options.n_workers,
+        checkpoint_path=options.checkpoint_path,
+        progress=options.progress,
+        relinearise_interval=options.relinearise_interval,
+        reuse_assembly=options.reuse_assembly,
+        backend=options.backend,
+        lane_width=options.lane_width,
+        cache=options.cache,
+        cache_dir=options.cache_dir,
+        _facade=True,
+    )
+    run = engine.run_explore(
+        sweep,
+        strategy,
+        integrator=options.integrator,
+        settings=options.settings,
+        seed=options.seed,
+    )
+    return ExplorationResult(run)

@@ -11,6 +11,10 @@ be spread over :class:`~repro.core.results.SimulationResult`,
   ``export_csv()`` routes through :mod:`repro.io`.
 * :class:`StudyResult` — one sweep.  Ranking access plus the engine
   bookkeeping, with the same ``summary()``/``export_csv()`` surface.
+* :class:`ExplorationResult` — one exploration (a budgeted search over
+  the sweep grid, :mod:`repro.explore`).  A :class:`StudyResult` over the
+  final full-horizon ranking, plus the round-by-round record, the
+  surviving candidates and the simulation work actually spent.
 * :class:`ComparisonResult` — one multi-solver comparison (the paper's
   Table I/II workload): per-solver :class:`RunHandle` access plus the
   CPU-time speed-up.
@@ -27,7 +31,7 @@ from ..core.results import SimulationResult, SolverStats, Trace
 from ..io.csvio import export_result
 from ..io.report import format_key_values, format_sweep_value, format_table
 
-__all__ = ["RunHandle", "StudyResult", "ComparisonResult"]
+__all__ = ["RunHandle", "StudyResult", "ExplorationResult", "ComparisonResult"]
 
 PathLike = Union[str, Path]
 
@@ -199,6 +203,78 @@ class StudyResult:
     def __repr__(self) -> str:  # pragma: no cover - debug convenience
         return (
             f"StudyResult(metric={self.metric_name!r}, "
+            f"n_candidates={len(self.points)})"
+        )
+
+
+class ExplorationResult(StudyResult):
+    """Typed handle of one finished exploration (a budgeted sweep search).
+
+    A :class:`StudyResult` whose wrapped result is the exploration's
+    *final* full-horizon ranking — ``best()``, ``sorted_points()`` and
+    ``export_csv()`` work unchanged and are always comparable to a dense
+    sweep's — plus the search bookkeeping: the raw
+    :class:`~repro.explore.ExplorationRun` as :attr:`run`, the
+    round-by-round record, the surviving candidates and the simulation
+    work spent as a fraction of the dense grid.
+    """
+
+    def __init__(self, run) -> None:
+        super().__init__(run.final)
+        self.run = run
+
+    # -- exploration bookkeeping ---------------------------------------- #
+    @property
+    def strategy(self) -> str:
+        """Name of the exploration strategy that ran."""
+        return self.run.strategy
+
+    @property
+    def rounds(self):
+        """Per-round records (:class:`~repro.explore.ExplorationRoundRecord`)."""
+        return self.run.rounds
+
+    @property
+    def survivors(self):
+        """Parameters of the candidates alive after the last round."""
+        return self.run.survivors
+
+    @property
+    def work_fraction(self) -> float:
+        """Simulation work spent, as a fraction of the dense full grid."""
+        return self.run.work_fraction
+
+    # -- uniform reporting ---------------------------------------------- #
+    def summary(self) -> Dict[str, object]:
+        """Headline numbers: the final ranking plus the search budget."""
+        summary = super().summary()
+        summary.update(
+            strategy=self.run.strategy,
+            n_rounds=len(self.run.rounds),
+            n_proposed=self.run.n_candidates,
+            n_simulations=self.run.n_simulations,
+            work_fraction=round(self.run.work_fraction, 4),
+        )
+        return summary
+
+    def format(self) -> str:
+        """Ranking table plus a one-line round/budget breakdown."""
+        schedule = " -> ".join(
+            f"{len(record.points)} @ {record.horizon:.3g}x"
+            for record in self.run.rounds
+        )
+        return (
+            f"{self.result.format()}\n"
+            f"exploration {self.run.strategy!r}: {schedule}; "
+            f"work {self.run.work_units:.3g}/{self.run.full_grid_work:.3g} "
+            f"candidate-equivalents "
+            f"({100.0 * self.run.work_fraction:.0f}% of the dense grid)"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (
+            f"ExplorationResult(strategy={self.run.strategy!r}, "
+            f"n_rounds={len(self.run.rounds)}, "
             f"n_candidates={len(self.points)})"
         )
 

@@ -7,8 +7,12 @@ uses, so a CLI run is byte-identical to the equivalent fluent study::
 
     repro run examples/experiments/quickstart.toml
     repro sweep examples/experiments/scenario1_tuning.toml --cache readwrite
+    repro sweep scenario1_tuning.toml --cache-dir .cache \\
+        --extend "initial_tuned_frequency_hz=72,73"
+    repro explore examples/experiments/scenario1_halving.toml
     repro compare my_comparison.toml
     repro export experiment.toml --csv traces.csv
+    repro scenarios
     repro cache ls
     repro cache gc --days 30
     repro cache clear --yes
@@ -32,7 +36,12 @@ import time
 from typing import Dict, List, Optional
 
 from .api import ExperimentSpec, Study
-from .api.results import ComparisonResult, RunHandle, StudyResult
+from .api.results import (
+    ComparisonResult,
+    ExplorationResult,
+    RunHandle,
+    StudyResult,
+)
 from .cache import ResultStore, default_cache_dir
 from .core.errors import SimulationError
 from .io import load_experiment
@@ -97,7 +106,7 @@ def _load_spec(args: argparse.Namespace) -> ExperimentSpec:
 
 def _spec_kind(spec: ExperimentSpec) -> str:
     if spec.sweep is not None:
-        return "sweep"
+        return "sweep" if spec.options.explore is None else "explore"
     if spec.compare:
         return "compare"
     return "single"
@@ -156,6 +165,19 @@ def _report_run(spec: ExperimentSpec, result, args, elapsed_s: float) -> None:
                 for point in result.points
             ]
             report["best_score"] = result.best().score
+            if isinstance(result, ExplorationResult):
+                report["strategy"] = result.strategy
+                report["work_fraction"] = result.work_fraction
+                report["rounds"] = [
+                    {
+                        "horizon": record.horizon,
+                        "n_candidates": len(record.points),
+                        "n_evaluated": record.n_evaluated,
+                        "n_cache_hits": record.n_cache_hits,
+                        "n_resumed": record.n_resumed,
+                    }
+                    for record in result.rounds
+                ]
         elif isinstance(result, ComparisonResult):
             report["cpu_times"] = result.cpu_times()
         print(json.dumps(report, indent=2, sort_keys=True))
@@ -169,7 +191,7 @@ def _report_run(spec: ExperimentSpec, result, args, elapsed_s: float) -> None:
     elif isinstance(result, StudyResult):
         print(result.format())
         print()
-        print(format_key_values(result.summary(), title="sweep summary"))
+        print(format_key_values(result.summary(), title=f"{kind} summary"))
     else:
         print(result.format())
         print()
@@ -226,10 +248,119 @@ def _require_kind(spec: ExperimentSpec, expected: str, command: str) -> None:
         )
 
 
+def _parse_extension(text: str):
+    """Parse one ``--extend "axis=v1,v2"`` argument into (name, values)."""
+    name, sep, raw = text.partition("=")
+    name = name.strip()
+    if not sep or not name or not raw.strip():
+        raise SimulationError(
+            f"--extend expects \"axis=value,value,...\", got {text!r}"
+        )
+    values = []
+    for item in raw.split(","):
+        item = item.strip()
+        try:
+            # always a float: the subset sweep's axis values are floats
+            # after TOML round-trip, and a mixed int/float axis would
+            # split cache keys for numerically identical candidates
+            values.append(float(item))
+        except ValueError:
+            raise SimulationError(
+                f"--extend {name!r}: value {item!r} is not a number; only "
+                "numeric axis extensions are supported on the command line"
+            ) from None
+    return name, values
+
+
+def _apply_extensions(spec: ExperimentSpec, extensions: List[str]) -> ExperimentSpec:
+    """Grow sweep axes in place and switch the experiment to grid extension.
+
+    Every previously swept grid point keeps its exact parameter values, so
+    a warm result cache serves the whole subset grid and only the new
+    points cost simulation work (``explore="extend"``).  Caching is
+    switched on (``readwrite``) when the experiment left it off — an
+    extension without a cache would silently re-simulate everything.
+    """
+    import dataclasses
+
+    from .api import SweepAxis, SweepSpec
+
+    if spec.sweep is None:
+        raise SimulationError(
+            "--extend needs a sweep experiment (the file has no [sweep] "
+            "section)"
+        )
+    axes = {axis.name: list(axis.values) for axis in spec.sweep.axes}
+    for text in extensions:
+        name, values = _parse_extension(text)
+        if name not in axes:
+            available = ", ".join(axes)
+            raise SimulationError(
+                f"--extend {name!r}: the sweep has no such axis (axes: "
+                f"{available}); extensions grow existing axes so the "
+                "subset grid stays cache-compatible"
+            )
+        for value in values:
+            if value not in axes[name]:
+                axes[name].append(value)
+    sweep = SweepSpec(
+        axes=tuple(
+            SweepAxis(name=name, values=tuple(values))
+            for name, values in axes.items()
+        ),
+        metric=spec.sweep.metric,
+        metric_name=spec.sweep.metric_name,
+    )
+    overrides: Dict[str, object] = {"explore": "extend"}
+    if spec.options.cache == "off":
+        overrides["cache"] = "readwrite"
+    return dataclasses.replace(
+        spec, sweep=sweep, options=spec.options.replace(**overrides)
+    )
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     spec = _load_spec(args)
-    _require_kind(spec, "sweep", "sweep")
+    if args.extend:
+        spec = _apply_extensions(spec, args.extend)
+    else:
+        _require_kind(spec, "sweep", "sweep")
     return _run_spec(spec, args)
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    spec = _load_spec(args)
+    overrides: Dict[str, object] = {}
+    if args.strategy is not None:
+        overrides["explore"] = args.strategy
+    if args.budget is not None:
+        overrides["budget"] = args.budget
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if overrides:
+        spec = spec.with_options(**overrides)
+    _require_kind(spec, "explore", "explore")
+    return _run_spec(spec, args)
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from .api.experiment import SCENARIO_FACTORIES
+
+    entries = []
+    for name in sorted(SCENARIO_FACTORIES):
+        doc = (SCENARIO_FACTORIES[name].__doc__ or "").strip()
+        entries.append((name, doc.splitlines()[0] if doc else ""))
+    if args.json:
+        print(json.dumps(dict(entries), indent=2, sort_keys=True))
+        return 0
+    print(
+        format_table(
+            ["factory", "description"],
+            [list(entry) for entry in entries],
+            "scenario factories (experiment files: scenario = {factory = ...})",
+        )
+    )
+    return 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -339,7 +470,36 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sweep = sub.add_parser("sweep", help="run a sweep experiment (ranking view)")
     _add_experiment_arguments(sweep)
+    sweep.add_argument(
+        "--extend",
+        action="append",
+        default=None,
+        metavar="AXIS=V1,V2",
+        help=(
+            "grow a sweep axis with extra values and run the extended grid "
+            "as a cached grid extension (previously swept points are "
+            "served from the result cache); repeatable"
+        ),
+    )
     sweep.set_defaults(func=_cmd_sweep)
+
+    explore = sub.add_parser(
+        "explore",
+        help="run an exploration experiment (budgeted search over the grid)",
+    )
+    _add_experiment_arguments(explore)
+    explore.add_argument(
+        "--strategy",
+        default=None,
+        help="override the exploration strategy (grid/random/latin/halving/extend)",
+    )
+    explore.add_argument(
+        "--budget", type=int, default=None, help="override the candidate budget"
+    )
+    explore.add_argument(
+        "--seed", type=int, default=None, help="override the sampling seed"
+    )
+    explore.set_defaults(func=_cmd_explore)
 
     compare = sub.add_parser(
         "compare", help="run a multi-solver comparison experiment"
@@ -352,6 +512,16 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_experiment_arguments(export)
     export.set_defaults(func=_cmd_export)
+
+    scenarios = sub.add_parser(
+        "scenarios", help="list the named scenario factories experiment files can use"
+    )
+    scenarios.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable JSON on stdout",
+    )
+    scenarios.set_defaults(func=_cmd_scenarios)
 
     cache = sub.add_parser("cache", help="inspect or maintain the result store")
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)

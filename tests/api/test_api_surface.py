@@ -15,6 +15,7 @@ EXPECTED_ALL = [
     "RunOptions",
     "RunHandle",
     "StudyResult",
+    "ExplorationResult",
     "ComparisonResult",
     # declarative experiments + result cache
     "ExperimentSpec",
@@ -97,6 +98,7 @@ def test_api_package_surface():
         "RunOptions",
         "RunHandle",
         "StudyResult",
+        "ExplorationResult",
         "ComparisonResult",
         "ExecutionPlan",
         "ExperimentSpec",

@@ -1,0 +1,153 @@
+"""CLI surfaces of the exploration layer: explore, sweep --extend, scenarios."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+SWEEP_TOML = """\
+name = "cli_sweep"
+
+[scenario]
+factory = "charging"
+duration_s = 0.05
+
+[sweep]
+metric = "harvested_energy"
+
+[sweep.axes]
+excitation_frequency_hz = [66.0, 70.0]
+"""
+
+EXPLORE_TOML = """\
+name = "cli_explore"
+
+[scenario]
+factory = "charging"
+duration_s = 0.05
+
+[sweep]
+metric = "harvested_energy"
+
+[sweep.axes]
+excitation_frequency_hz = [62.0, 66.0, 70.0, 74.0]
+excitation_amplitude_ms2 = [0.3, 0.59]
+
+[explore]
+strategy = "halving"
+"""
+
+
+@pytest.fixture
+def experiment_dir(tmp_path):
+    (tmp_path / "sweep.toml").write_text(SWEEP_TOML)
+    (tmp_path / "explore.toml").write_text(EXPLORE_TOML)
+    return tmp_path
+
+
+def run_json(capsys, argv):
+    code = main(argv)
+    captured = capsys.readouterr()
+    assert code == 0, captured.err
+    return json.loads(captured.out)
+
+
+def test_explore_command_runs_the_toml_strategy(experiment_dir, capsys):
+    report = run_json(
+        capsys, ["explore", str(experiment_dir / "explore.toml"), "--json"]
+    )
+    assert report["kind"] == "explore"
+    assert report["strategy"] == "halving"
+    assert report["work_fraction"] < 1.0
+    assert len(report["rounds"]) >= 2
+    assert report["rounds"][-1]["horizon"] == 1.0
+
+
+def test_explore_flags_override_the_spec(experiment_dir, capsys):
+    report = run_json(
+        capsys,
+        [
+            "explore",
+            str(experiment_dir / "sweep.toml"),
+            "--strategy",
+            "random",
+            "--budget",
+            "1",
+            "--seed",
+            "7",
+            "--json",
+        ],
+    )
+    assert report["strategy"] == "random"
+    assert len(report["points"]) == 1
+
+
+def test_explore_requires_an_explore_experiment(experiment_dir, capsys):
+    assert main(["explore", str(experiment_dir / "sweep.toml")]) == 2
+    assert "explore experiment" in capsys.readouterr().err
+
+
+def test_sweep_command_still_rejects_explore_experiments(
+    experiment_dir, capsys
+):
+    assert main(["sweep", str(experiment_dir / "explore.toml")]) == 2
+    assert "sweep experiment" in capsys.readouterr().err
+
+
+def test_sweep_extend_inherits_the_subset_from_cache(experiment_dir, capsys):
+    cache = ["--cache-dir", str(experiment_dir / "cache")]
+    dense = run_json(
+        capsys,
+        ["sweep", str(experiment_dir / "sweep.toml"), *cache, "--json"],
+    )
+    extended = run_json(
+        capsys,
+        [
+            "sweep",
+            str(experiment_dir / "sweep.toml"),
+            "--extend",
+            "excitation_frequency_hz=68.0,74.0",
+            *cache,
+            "--json",
+        ],
+    )
+    assert extended["kind"] == "explore"
+    assert extended["strategy"] == "extend"
+    assert len(extended["points"]) == 4
+    assert extended["summary"]["n_cache_hits"] == len(dense["points"])
+    assert extended["summary"]["n_evaluated"] == 2
+    # inherited points keep their exact cached scores
+    dense_scores = {
+        point["parameters"]["excitation_frequency_hz"]: point["score"]
+        for point in dense["points"]
+    }
+    extended_scores = {
+        point["parameters"]["excitation_frequency_hz"]: point["score"]
+        for point in extended["points"]
+    }
+    for freq, score in dense_scores.items():
+        assert extended_scores[freq] == score
+
+
+def test_sweep_extend_rejects_unknown_axes_and_bad_values(
+    experiment_dir, capsys
+):
+    base = ["sweep", str(experiment_dir / "sweep.toml")]
+    assert main([*base, "--extend", "no_such_axis=1.0"]) == 2
+    assert "no such axis" in capsys.readouterr().err
+    assert main([*base, "--extend", "excitation_frequency_hz=abc"]) == 2
+    assert "not a number" in capsys.readouterr().err
+    assert main([*base, "--extend", "excitation_frequency_hz"]) == 2
+    assert "--extend" in capsys.readouterr().err
+
+
+def test_scenarios_command_lists_the_factories(capsys):
+    listing = run_json(capsys, ["scenarios", "--json"])
+    assert "charging" in listing
+    assert "scenario_1" in listing
+    assert listing["scenario_1"]  # factories carry a one-line description
+
+    assert main(["scenarios"]) == 0
+    out = capsys.readouterr().out
+    assert "scenario_2" in out
