@@ -27,7 +27,11 @@ lanes of stacked ``(B, n, n)`` arrays (one linearise/eliminate/march
 NumPy sweep per step for a whole lane block, composed with the same 4
 worker processes).  Asserted: at least 3x wall-clock over the 4-worker
 process engine, scores within the documented 10 % tolerance and the same
-winner.  Writes ``BENCH_batch.json``.
+winner.  Writes ``BENCH_batch.json``.  The same grid additionally runs
+with the **compiled lane core** (``compiled="auto"``,
+:mod:`repro.core.kernels`) as a third leg, so ``BENCH_sweep.json``
+tracks all four execution paths — serial / engine / batched /
+compiled — in one file.
 
 On a single-core host the speed-up comes from the amortised profile and
 the lane vectorisation; on a multi-core host process parallelism
@@ -205,6 +209,10 @@ def _write_batch_json(
     max_dev,
     quick,
     batched_workers,
+    t_compiled,
+    compiled_speedup,
+    compiled_max_dev,
+    compiled_backend,
 ):
     """Machine-readable record of the batched-backend comparison."""
     BATCH_JSON_PATH.write_text(
@@ -221,12 +229,26 @@ def _write_batch_json(
                 "t_batched_s": t_batched,
                 "speedup_vs_process_engine": speedup,
                 "max_rel_score_deviation": max_dev,
+                "t_compiled_s": t_compiled,
+                "compiled_backend": compiled_backend,
+                "compiled_speedup_vs_process_engine": compiled_speedup,
+                "compiled_max_rel_score_deviation": compiled_max_dev,
                 "score_tolerance_rel": SCORE_TOLERANCE_REL,
             },
             indent=2,
         )
         + "\n"
     )
+    # merge the batched/compiled columns into BENCH_sweep.json so one file
+    # tracks every execution path: serial / engine / batched / compiled
+    if JSON_PATH.exists():
+        merged = json.loads(JSON_PATH.read_text())
+        merged["t_batched_s"] = t_batched
+        merged["batched_speedup_vs_engine"] = speedup
+        merged["t_compiled_s"] = t_compiled
+        merged["compiled_backend"] = compiled_backend
+        merged["compiled_speedup_vs_engine"] = compiled_speedup
+        JSON_PATH.write_text(json.dumps(merged, indent=2) + "\n")
 
 
 def run_batched_comparison(grid, duration_s, *, assert_speedup=True, quick=False):
@@ -260,6 +282,20 @@ def run_batched_comparison(grid, duration_s, *, assert_speedup=True, quick=False
         )
     ).run()
     t_batched = time.perf_counter() - t0
+
+    from repro.core.kernels import resolve_compiled
+
+    compiled_backend = resolve_compiled("auto")
+    t0 = time.perf_counter()
+    compiled = study.options(
+        RunOptions.batched(
+            lane_width=n_candidates if quick else None,
+            n_workers=batched_workers,
+            relinearise_interval=RELINEARISE_INTERVAL,
+            compiled="auto",
+        )
+    ).run()
+    t_compiled = time.perf_counter() - t0
     # runtime truth, not the planning count: every candidate's score must
     # actually have come out of a batched lock-step march
     assert batched.engine_info.n_batched_candidates == n_candidates, (
@@ -274,6 +310,11 @@ def run_batched_comparison(grid, duration_s, *, assert_speedup=True, quick=False
         for fast, ref in zip(batched.points, engine.points)
     ]
     max_deviation = max(deviations)
+    compiled_speedup = t_engine / t_compiled
+    compiled_max_dev = max(
+        abs(fast.score - ref.score) / abs(ref.score)
+        for fast, ref in zip(compiled.points, engine.points)
+    )
 
     rows = [
         [
@@ -287,6 +328,12 @@ def run_batched_comparison(grid, duration_s, *, assert_speedup=True, quick=False
             f"{t_batched:.2f}",
             f"{speedup:.2f}",
             f"{max_deviation:.2e}",
+        ],
+        [
+            f"compiled lane core ({compiled_backend} kernel)",
+            f"{t_compiled:.2f}",
+            f"{compiled_speedup:.2f}",
+            f"{compiled_max_dev:.2e}",
         ],
     ]
     report = format_table(
@@ -310,6 +357,10 @@ def run_batched_comparison(grid, duration_s, *, assert_speedup=True, quick=False
         max_deviation,
         quick,
         batched_workers,
+        t_compiled,
+        compiled_speedup,
+        compiled_max_dev,
+        compiled_backend,
     )
 
     assert engine.best().parameters == batched.best().parameters, (
@@ -318,6 +369,10 @@ def run_batched_comparison(grid, duration_s, *, assert_speedup=True, quick=False
     assert max_deviation <= SCORE_TOLERANCE_REL, (
         f"batched score deviation {max_deviation:.3e} exceeds the documented "
         f"tolerance {SCORE_TOLERANCE_REL}"
+    )
+    assert compiled_max_dev <= SCORE_TOLERANCE_REL, (
+        f"compiled score deviation {compiled_max_dev:.3e} exceeds the "
+        f"documented tolerance {SCORE_TOLERANCE_REL}"
     )
     if assert_speedup:
         assert speedup >= MIN_BATCH_SPEEDUP, (

@@ -121,6 +121,8 @@ class EngineRunInfo:
     #: (runtime truth: heterogeneous-settings blocks that degraded to the
     #: scalar path and retired lanes are excluded)
     n_batched_candidates: int = 0
+    #: requested compiled lane-core mode ("off" | "auto" | backend name)
+    compiled: str = "off"
 
 
 @dataclass(frozen=True)
@@ -140,6 +142,8 @@ class _Task:
     cache_key: Optional[str] = None
     cache_dir: Optional[str] = None
     cache_salt: Optional[str] = None
+    #: compiled lane-core mode for the batched march ("off" interprets)
+    compiled: str = "off"
 
 
 @dataclass(frozen=True)
@@ -292,6 +296,7 @@ def _evaluate_lane_block_inner(tasks: Sequence[_Task]) -> List[_Outcome]:
             [harvester.assembler for harvester in harvesters],
             integrator=tasks[0].integrator,
             settings=settings_list,
+            compiled=tasks[0].compiled,
         )
         for i, harvester in enumerate(harvesters):
             harvester._wire(solver.lane_wiring(i))
@@ -406,6 +411,13 @@ class SweepEngine:
     lane_width:
         Maximum lanes per batched block.  Default: one block per
         topology (serial) or one block per worker per topology.
+    compiled:
+        Compiled lane-core mode for the batched march
+        (:mod:`repro.core.kernels`): ``"off"`` (default) interprets,
+        ``"auto"`` picks the best importable kernel backend,
+        ``"numba"``/``"jax"``/``"numpy"`` pin one (raising eagerly when
+        it is not importable).  Batched backend only; fixed-step results
+        stay byte-identical to ``"off"``.
     cache:
         Result-cache mode (:mod:`repro.cache`): ``"off"`` (default) never
         touches the store; ``"read"`` serves per-candidate sweep points
@@ -438,6 +450,7 @@ class SweepEngine:
         reuse_assembly: bool = True,
         backend: str = "process",
         lane_width: Optional[int] = None,
+        compiled: str = "off",
         cache: str = "off",
         cache_dir: Optional[str] = None,
         _facade: bool = False,
@@ -469,6 +482,24 @@ class SweepEngine:
                 "batched backend; drop lane_width or select "
                 "backend='batched'"
             )
+        from ..core.kernels import COMPILED_MODES, resolve_compiled
+
+        if compiled not in COMPILED_MODES:
+            raise ConfigurationError(
+                f"unknown compiled mode {compiled!r}; choose from "
+                f"{COMPILED_MODES}"
+            )
+        if compiled != "off":
+            if backend != "batched":
+                raise ConfigurationError(
+                    f"incoherent options: compiled={compiled!r} with "
+                    f"backend={backend!r} — the compiled lane core "
+                    "accelerates the batched lock-step march; drop "
+                    "compiled or select backend='batched'"
+                )
+            # fail in the parent at construction, not in a worker
+            # mid-sweep, when an explicit backend is not importable
+            resolve_compiled(compiled)
         from ..api.options import CACHE_MODES
 
         if cache not in CACHE_MODES:
@@ -482,6 +513,7 @@ class SweepEngine:
         self.reuse_assembly = reuse_assembly
         self.backend = backend
         self.lane_width = lane_width
+        self.compiled = compiled
         self.cache = cache
         self.cache_dir = cache_dir
 
@@ -671,6 +703,7 @@ class SweepEngine:
             n_batched_candidates=n_batched,
             n_cache_hits=n_cache_hits_total,
             cache=self.cache,
+            compiled=self.compiled,
         )
 
         survivors_fn = getattr(strategy, "survivors", None)
@@ -720,6 +753,7 @@ class SweepEngine:
                     settings=settings,
                     relinearise_interval=self.relinearise_interval,
                     reuse_assembly=self.reuse_assembly,
+                    compiled=self.compiled,
                 )
             )
         return tasks
@@ -853,6 +887,7 @@ class SweepEngine:
             relinearise_interval=self.relinearise_interval,
             backend=self.backend,
             seed=seed,
+            compiled=self.compiled,
         )
 
     def _checkpoint_metadata(

@@ -21,10 +21,17 @@ from typing import Callable, Dict, Optional
 from ..core.elimination import AssemblyStructure
 from ..core.errors import ConfigurationError
 from ..core.integrators import ExplicitIntegrator, make_integrator
+from ..core.kernels import COMPILED_MODES, resolve_compiled
 from ..core.serialise import decode_value, encode_value
 from ..core.solver import SolverSettings
 
-__all__ = ["RunOptions", "BACKENDS", "CACHE_MODES", "execution_fingerprint"]
+__all__ = [
+    "RunOptions",
+    "BACKENDS",
+    "CACHE_MODES",
+    "COMPILED_MODES",
+    "execution_fingerprint",
+]
 
 #: execution backends understood by the dispatch planner
 BACKENDS = ("process", "batched")
@@ -44,6 +51,7 @@ def execution_fingerprint(
     relinearise_interval: Optional[int] = None,
     backend: str = "process",
     seed: Optional[int] = None,
+    compiled: str = "off",
 ) -> Dict[str, object]:
     """Canonical fingerprint of everything that can change a *result*.
 
@@ -58,6 +66,12 @@ def execution_fingerprint(
     ``backend``) covers those.  ``seed`` *is* included: a seeded
     exploration samples a different candidate set per seed, so its results
     must never collide with another seed's in the cache.
+
+    ``compiled`` is recorded only where it can change results: at fixed
+    step the compiled lane core is byte-identical to the interpreted
+    batched march (so all modes share one fingerprint, ``"off"``), while
+    adaptive batched runs fall under the same documented 10 % tolerance
+    as the batched backend itself and fingerprint the requested mode.
     """
     if integrator is None:
         integrator_form = None
@@ -66,6 +80,12 @@ def execution_fingerprint(
             "name": str(integrator.name),
             "order": getattr(integrator, "order", None),
         }
+    adaptive = settings is None or settings.fixed_step is None
+    compiled_form = (
+        str(compiled)
+        if compiled != "off" and backend == "batched" and adaptive
+        else "off"
+    )
     return {
         "integrator": integrator_form,
         "settings": None if settings is None else encode_value(settings),
@@ -74,6 +94,7 @@ def execution_fingerprint(
         ),
         "backend": str(backend),
         "seed": None if seed is None else int(seed),
+        "compiled": compiled_form,
     }
 
 
@@ -104,6 +125,17 @@ class RunOptions:
     lane_width:
         Maximum lanes per batched block (``backend="batched"`` only —
         combining it with the process backend raises).
+    compiled:
+        Compiled lane-core backend for the batched march
+        (:mod:`repro.core.kernels`): ``"off"`` (default) runs the
+        interpreted lock-step loop; ``"auto"`` picks the best importable
+        backend (numba, then JAX, then the always-available vectorised
+        NumPy kernel); ``"numba"``/``"jax"``/``"numpy"`` pin one and
+        raise eagerly when it is not importable (``pip install
+        repro[compiled]``).  Fixed-step results are byte-identical to
+        ``"off"``; adaptive runs fall under the batched backend's
+        documented 10 % tolerance.  Only valid with
+        ``backend="batched"``.
     n_workers:
         Worker processes for sweep execution.  ``1`` evaluates inline,
         byte-identical to the historical serial loop; ``None`` uses
@@ -159,6 +191,7 @@ class RunOptions:
     relinearise_interval: Optional[int] = None
     backend: str = "process"
     lane_width: Optional[int] = None
+    compiled: str = "off"
     n_workers: Optional[int] = 1
     checkpoint_path: Optional[str] = None
     progress: Optional[ProgressFn] = None
@@ -202,7 +235,9 @@ class RunOptions:
 
         Same-topology controller-free candidates march in lock-step
         through stacked ``(B, n, n)`` arrays; composes with ``n_workers``
-        (each worker marches one lane block).
+        (each worker marches one lane block) and with the
+        ``compiled=`` lane-core knob (``"auto"`` picks the fastest
+        importable march kernel).
         """
         return cls(backend="batched", lane_width=lane_width, **overrides)
 
@@ -225,6 +260,23 @@ class RunOptions:
                     "the batched backend; drop lane_width or use "
                     "RunOptions.batched()"
                 )
+        if self.compiled not in COMPILED_MODES:
+            raise ConfigurationError(
+                f"unknown compiled mode {self.compiled!r}; choose from "
+                f"{COMPILED_MODES}"
+            )
+        if self.compiled != "off":
+            if self.backend != "batched":
+                raise ConfigurationError(
+                    f"incoherent options: compiled={self.compiled!r} with "
+                    f"backend={self.backend!r} — the compiled lane core "
+                    "accelerates the batched lock-step march; drop compiled "
+                    "or use RunOptions.batched()"
+                )
+            # eager backend resolution: an explicitly requested backend
+            # that is not importable fails here, at construction, not in
+            # a worker process mid-sweep
+            resolve_compiled(self.compiled)
         if self.n_workers is not None and self.n_workers < 1:
             raise ConfigurationError("n_workers must be at least 1")
         if self.relinearise_interval is not None and self.relinearise_interval < 1:
@@ -480,6 +532,7 @@ class RunOptions:
             relinearise_interval=self.relinearise_interval,
             backend=self.backend,
             seed=self.seed,
+            compiled=self.compiled,
         )
 
     # ------------------------------------------------------------------ #

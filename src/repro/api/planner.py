@@ -400,6 +400,7 @@ def execute_sweep(sweep, options: RunOptions) -> StudyResult:
         reuse_assembly=options.reuse_assembly,
         backend=options.backend,
         lane_width=options.lane_width,
+        compiled=options.compiled,
         cache=options.cache,
         cache_dir=options.cache_dir,
         _facade=True,
@@ -451,6 +452,7 @@ def execute_explore(sweep, options: RunOptions) -> ExplorationResult:
         reuse_assembly=options.reuse_assembly,
         backend=options.backend,
         lane_width=options.lane_width,
+        compiled=options.compiled,
         cache=options.cache,
         cache_dir=options.cache_dir,
         _facade=True,

@@ -48,7 +48,8 @@ __all__ = [
 ]
 
 #: bump to invalidate every existing cache entry on a storage-format change
-CACHE_SCHEMA_VERSION = 1
+#: (2: execution fingerprints grew a "compiled" key for the lane core)
+CACHE_SCHEMA_VERSION = 2
 
 #: environment variable overriding the default store location
 CACHE_ENV_VAR = "REPRO_CACHE_DIR"

@@ -71,6 +71,15 @@ def _add_experiment_arguments(parser: argparse.ArgumentParser) -> None:
         ),
     )
     parser.add_argument(
+        "--compiled",
+        choices=("off", "auto", "numba", "jax", "numpy"),
+        default=None,
+        help=(
+            "override the experiment's compiled lane-core mode (batched "
+            "backend only; 'auto' picks the best importable kernel)"
+        ),
+    )
+    parser.add_argument(
         "--no-traces",
         action="store_true",
         help="do not store waveform traces in cached single-run entries",
@@ -97,6 +106,8 @@ def _load_spec(args: argparse.Namespace) -> ExperimentSpec:
         overrides["cache_dir"] = args.cache_dir
         if spec.options.cache == "off" and args.cache is None:
             overrides["cache"] = "readwrite"
+    if args.compiled is not None:
+        overrides["compiled"] = args.compiled
     if args.no_traces:
         overrides["store_traces"] = False
     if overrides:

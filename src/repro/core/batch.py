@@ -47,6 +47,7 @@ Equivalence contracts
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
@@ -64,7 +65,13 @@ from .errors import (
     StabilityError,
 )
 from .integrators import AdamsBashforth, ExplicitIntegrator
-from .results import SimulationResult, SolverStats, TraceRecorder
+from .kernels import (
+    COMPILED_MODES,
+    batched_state_norms,
+    get_march_kernel,
+    resolve_compiled,
+)
+from .results import SimulationResult, SolverStats, Trace, TraceRecorder
 from .solver import ProbeFn, SolverSettings
 from .stepper import BatchedStepController, relative_jacobian_drift
 
@@ -126,6 +133,157 @@ class _Lane:
         self.n_jacobian_reuses = 0
 
 
+class _BatchedRecorder:
+    """Geometrically grown trace buffers for the compiled batched loop.
+
+    The interpreted loop records through per-lane :class:`TraceRecorder`
+    objects — a Python dict build plus per-trace list appends for every
+    lane at every recorded step.  This recorder instead keeps one
+    row-buffered array per quantity (times ``(cap,)``, due-mask
+    ``(cap, B)``, states ``(cap, B, n)``, terminals ``(cap, B, m)``),
+    doubling capacity as rows fill, and materialises per-lane
+    :class:`Trace` objects only when a lane finalises.  Probe callables
+    remain per-lane Python calls (they are arbitrary user code) but are
+    invoked only for lanes actually due.
+
+    Due-ness replicates ``TraceRecorder.should_record`` exactly:
+    record when the interval is non-positive, when the lane has never
+    recorded, or when ``t - last >= interval * (1 - 1e-12)``.
+    """
+
+    _INITIAL_CAPACITY = 64
+
+    def __init__(self, lanes: Sequence[_Lane], n_states: int, n_terminals: int) -> None:
+        b = len(lanes)
+        intervals = np.array(
+            [lane.settings.record_interval for lane in lanes], dtype=float
+        )
+        self._interval = intervals
+        self._thresh = intervals * (1.0 - 1e-12)
+        self._always = intervals <= 0.0
+        self._last = np.full(b, np.nan)
+        self._n = 0
+        cap = self._INITIAL_CAPACITY
+        self._times = np.empty(cap)
+        self._mask = np.empty((cap, b), dtype=bool)
+        self._states = np.empty((cap, b, n_states))
+        self._nets = np.empty((cap, b, n_terminals))
+        self._probe_fns: List[Dict[str, ProbeFn]] = [
+            dict(lane.probes) for lane in lanes
+        ]
+        self._probe_values: List[Dict[str, List[float]]] = [
+            {name: [] for name in fns} for fns in self._probe_fns
+        ]
+
+    @property
+    def burst_ready(self) -> bool:
+        """Whether kernel bursts may run (thresholds fully defined).
+
+        Lanes that record every step (non-positive interval) or have
+        never recorded can become due at any time in a way the kernel's
+        ``t - last >= thresh`` check cannot express, so bursts stay off
+        until every lane has a positive interval and a first record.
+        """
+        return not bool(np.any(self._always)) and not bool(
+            np.any(np.isnan(self._last))
+        )
+
+    @property
+    def last_record_times(self) -> np.ndarray:
+        return self._last
+
+    @property
+    def thresholds(self) -> np.ndarray:
+        return self._thresh
+
+    def _grow(self) -> None:
+        if self._n < self._times.shape[0]:
+            return
+        cap = self._times.shape[0] * 2
+        for attr in ("_times", "_mask", "_states", "_nets"):
+            old = getattr(self, attr)
+            new = np.empty((cap,) + old.shape[1:], dtype=old.dtype)
+            new[: self._n] = old[: self._n]
+            setattr(self, attr, new)
+
+    def record(self, t: float, x: np.ndarray, y: np.ndarray) -> None:
+        """Record all lanes that are due at time ``t``."""
+        due = self._always | np.isnan(self._last) | ((t - self._last) >= self._thresh)
+        if due.any():
+            self._write(t, due, x, y)
+
+    def record_lane(self, i: int, t: float, x: np.ndarray, y: np.ndarray) -> None:
+        """Force-record lane ``i`` (finalisation record)."""
+        due = np.zeros(self._last.shape[0], dtype=bool)
+        due[i] = True
+        self._write(t, due, x, y)
+
+    def _write(self, t: float, due: np.ndarray, x: np.ndarray, y: np.ndarray) -> None:
+        self._grow()
+        row = self._n
+        self._times[row] = t
+        self._mask[row] = due
+        self._states[row] = x
+        self._nets[row] = y
+        self._last = np.where(due, t, self._last)
+        for i in np.flatnonzero(due):
+            fns = self._probe_fns[i]
+            if fns:
+                x_i = x[i]
+                y_i = y[i]
+                values = self._probe_values[i]
+                for name, probe in fns.items():
+                    values[name].append(float(probe(t, x_i, y_i)))
+        self._n += 1
+
+    def select(self, keep: np.ndarray) -> None:
+        """Compact the lane axis to ``keep`` (mirrors ``drop_lanes``)."""
+        self._interval = self._interval[keep]
+        self._thresh = self._thresh[keep]
+        self._always = self._always[keep]
+        self._last = self._last[keep]
+        self._mask = self._mask[:, keep]
+        self._states = self._states[:, keep, :]
+        self._nets = self._nets[:, keep, :]
+        self._probe_fns = [self._probe_fns[int(i)] for i in keep]
+        self._probe_values = [self._probe_values[int(i)] for i in keep]
+
+    def traces_for(
+        self, i: int, state_names: Sequence[str], net_names: Sequence[str]
+    ) -> Dict[str, Trace]:
+        """Materialise lane ``i``'s traces (interpreted-path dict order).
+
+        Times are monotonic by construction (``_write`` is called with
+        non-decreasing ``t``), checked once per lane here; the per-trace
+        lists are then built directly (``tolist`` yields the same Python
+        floats ``TraceRecorder`` would have appended one by one).
+        """
+        rows = np.flatnonzero(self._mask[: self._n, i])
+        times_arr = self._times[rows]
+        if times_arr.size > 1 and bool(np.any(np.diff(times_arr) < 0.0)):
+            raise ConfigurationError(
+                f"lane {i}: non-monotonic buffered record times"
+            )
+        times = times_arr.tolist()
+
+        def bulk(name: str, values: List[float]) -> Trace:
+            trace = Trace(name)
+            trace._times = list(times)
+            trace._values = values
+            return trace
+
+        states = self._states[rows, i, :]
+        nets = self._nets[rows, i, :]
+        traces: Dict[str, Trace] = {}
+        for j, name in enumerate(state_names):
+            traces[name] = bulk(name, states[:, j].tolist())
+        for j, name in enumerate(net_names):
+            traces[name] = bulk(name, nets[:, j].tolist())
+        for name, values in self._probe_values[i].items():
+            traces[name] = bulk(name, list(values))
+        return traces
+
+
 class BatchedSolver:
     """Marches ``B`` same-topology candidates as lanes of stacked arrays.
 
@@ -146,6 +304,17 @@ class BatchedSolver:
         lanes because they define the shared schedule, and ``monitor_lle``
         is not supported in batched mode (use the scalar solver for LLE
         studies — Jacobian-drift monitoring itself stays active).
+    compiled:
+        March-kernel mode (``"off" | "auto" | "numba" | "jax" | "numpy"``,
+        see :mod:`repro.core.kernels`).  ``"off"`` keeps the interpreted
+        lock-step loop; any other mode runs the accumulator-based compiled
+        loop, which bursts held-model steps through the resolved kernel
+        backend.  The compiled loop engages its kernel only for
+        Adams-Bashforth marches with a full multistep window; other
+        configurations fall through to per-step updates inside the same
+        loop, preserving correctness.  Fixed-step results remain
+        byte-identical to the interpreted path (asserted by the test
+        suite for the numpy backend and by CI for numba).
     """
 
     def __init__(
@@ -153,6 +322,7 @@ class BatchedSolver:
         assemblers: Sequence[SystemAssembler],
         integrator: Optional[ExplicitIntegrator] = None,
         settings: Union[SolverSettings, Sequence[SolverSettings], None] = None,
+        compiled: str = "off",
     ) -> None:
         self.batched_assembler = BatchedAssembler(assemblers)
         b = self.batched_assembler.n_lanes
@@ -188,6 +358,15 @@ class BatchedSolver:
             )
         self._settings_list = settings_list
         self._lanes = [_Lane(i, s) for i, s in enumerate(settings_list)]
+        if compiled not in COMPILED_MODES:
+            raise ConfigurationError(
+                f"unknown compiled mode {compiled!r}; "
+                f"choose one of {COMPILED_MODES}"
+            )
+        self._compiled_mode = compiled
+        # eager resolution: an explicitly requested unavailable backend
+        # raises here, at construction, not mid-march
+        self._compiled_backend = resolve_compiled(compiled)
 
     @property
     def n_lanes(self) -> int:
@@ -229,7 +408,23 @@ class BatchedSolver:
         ``t_end`` is shared or per-lane; per-lane end times require
         adaptive mode (a lane-specific final clamp would break the
         fixed-step byte-identity of the longer lanes).
+
+        With ``compiled != "off"`` the march runs through the
+        accumulator-based compiled loop (see ``_run_compiled``); results
+        carry ``metadata["compiled"]`` naming the kernel backend.
         """
+        if self._compiled_backend is not None:
+            return self._run_compiled(t_end, t_start=t_start, x0=x0)
+        return self._run_interpreted(t_end, t_start=t_start, x0=x0)
+
+    def _run_interpreted(
+        self,
+        t_end: Union[float, Sequence[float]],
+        *,
+        t_start: float = 0.0,
+        x0: Optional[np.ndarray] = None,
+    ) -> BatchResult:
+        """The reference lock-step loop: one interpreted step at a time."""
         # `assembler` tracks the *active* lanes and is compacted as lanes
         # retire; `self.batched_assembler` is never mutated, so the solver
         # object stays reusable after a run
@@ -501,7 +696,7 @@ class BatchedSolver:
             t += h
 
             # 6. divergence guard — retire tripped lanes, keep marching
-            norms = np.sqrt(np.sum(x * x, axis=1))
+            norms = batched_state_norms(x)
             bad = (
                 ~np.all(np.isfinite(x), axis=1)
                 | ~np.isfinite(norms)
@@ -519,5 +714,405 @@ class BatchedSolver:
                         for _ in indices
                     ],
                 )
+
+        return BatchResult(results=results, failures=failures)
+
+    def _run_compiled(
+        self,
+        t_end: Union[float, Sequence[float]],
+        *,
+        t_start: float = 0.0,
+        x0: Optional[np.ndarray] = None,
+    ) -> BatchResult:
+        """Accumulator-based loop with compiled held-model bursts.
+
+        Structure mirrors ``_run_interpreted`` decision for decision; the
+        differences are pure bookkeeping mechanics:
+
+        * per-lane Python stats loops become ``(B,)`` accumulator arrays,
+          materialised into each lane's :class:`SolverStats` only at
+          finalisation;
+        * trace recording goes through one :class:`_BatchedRecorder`
+          (geometrically grown row buffers) instead of per-lane
+          ``TraceRecorder`` objects;
+        * after each interpreted step, the remaining held-model steps are
+          advanced in one march-kernel burst (``K = min(steps_until_
+          refresh, steps_until_record, steps_until_t_end)``, realised as
+          per-iteration exit checks inside the kernel — see
+          :mod:`repro.core.kernels`).
+
+        Fixed-step results are byte-identical to the interpreted loop;
+        the kernel replicates its array expressions exactly (numpy
+        backend) and never observes the skipped intermediate terminal
+        solves, whose values affect nothing downstream.
+        """
+        backend = self._compiled_backend
+        try:
+            kernel = get_march_kernel(backend)
+        except Exception:
+            if self._compiled_mode != "auto":
+                raise
+            warnings.warn(
+                f"compiled march backend {backend!r} failed to build; "
+                "falling back to the numpy kernel",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            backend = "numpy"
+            kernel = get_march_kernel(backend)
+
+        assembler = self.batched_assembler
+        b = assembler.n_lanes
+        n_states = assembler.n_states
+
+        t_end_arr = np.broadcast_to(
+            np.asarray(t_end, dtype=float), (b,)
+        ).copy()
+        if np.any(t_end_arr <= t_start):
+            raise ConfigurationError("t_end must be greater than t_start")
+        if self._fixed_step is not None and np.unique(t_end_arr).size != 1:
+            raise ConfigurationError(
+                "fixed-step batched marching requires a shared t_end "
+                "(per-lane end times would desynchronise the final clamp)"
+            )
+
+        t = float(t_start)
+        if x0 is None:
+            x = assembler.initial_state()
+        else:
+            x = np.array(x0, dtype=float, copy=True)
+        if x.shape != (b, n_states):
+            raise ConfigurationError(
+                f"x0 has shape {x.shape}, expected ({b}, {n_states})"
+            )
+        y = np.zeros((b, assembler.n_terminals))
+
+        controller: Optional[BatchedStepController] = None
+        if self._fixed_step is None:
+            controller = BatchedStepController(
+                [lane.settings.step_control for lane in self._lanes],
+                integrator=self.integrator,
+            )
+        integrator_state = self.integrator.new_state()
+
+        lanes = list(self._lanes)
+        for lane in lanes:
+            lane.stats = SolverStats(
+                solver_name=f"batched-state-space/{self.integrator.name}"
+            )
+            lane.recorder = TraceRecorder(
+                record_interval=lane.settings.record_interval
+            )
+            lane.lle_max_change = 0.0
+            lane.lle_flagged = 0
+            lane.n_jacobian_reuses = 0
+
+        results: List[Optional[SimulationResult]] = [None] * b
+        failures: Dict[int, Exception] = {}
+
+        structure = assembler.structure
+        rep = assembler.lane_assembler(0)
+        state_names = rep.state_names()
+        net_names = rep.net_names()
+
+        divergence_limit = np.array(
+            [lane.settings.divergence_limit for lane in lanes]
+        )
+        lle_tolerance = np.array([lane.settings.lle_tolerance for lane in lanes])
+        state_rtol = np.array(
+            [
+                np.inf
+                if lane.settings.relinearise_state_rtol is None
+                else lane.settings.relinearise_state_rtol
+                for lane in lanes
+            ]
+        )
+
+        # (B,) stat accumulators — the compiled loop's replacement for
+        # the interpreted `for lane in lanes:` bookkeeping loops
+        acc_fevals = np.zeros(len(lanes), dtype=np.int64)
+        acc_steps = np.zeros(len(lanes), dtype=np.int64)
+        acc_hmin = np.full(len(lanes), np.inf)
+        acc_hmax = np.zeros(len(lanes))
+        acc_jev = np.zeros(len(lanes), dtype=np.int64)
+        acc_solves = np.zeros(len(lanes), dtype=np.int64)
+        acc_reuses = np.zeros(len(lanes), dtype=np.int64)
+        acc_lle_max = np.zeros(len(lanes))
+        acc_lle_flags = np.zeros(len(lanes), dtype=np.int64)
+
+        recorder = _BatchedRecorder(
+            lanes, n_states=n_states, n_terminals=assembler.n_terminals
+        )
+
+        # kernel bursts require a full Adams-Bashforth window (the RK4
+        # startup steps and other integrators stay interpreted)
+        burstable = isinstance(self.integrator, AdamsBashforth)
+        order = self.integrator.order
+
+        wall_start = time.perf_counter()
+        reduced: Optional[BatchedReducedSystem] = None
+        previous_a: Optional[np.ndarray] = None  # Jacobian-drift monitoring
+        steps_since_assemble = 0
+        x_reference = x
+        held_h = None
+
+        def drop_lanes(keep: np.ndarray) -> None:
+            """Compact every stacked structure to the lanes in ``keep``."""
+            nonlocal x, y, reduced, lanes, t_end_arr, x_reference, assembler
+            nonlocal divergence_limit, lle_tolerance, state_rtol, previous_a
+            nonlocal acc_fevals, acc_steps, acc_hmin, acc_hmax, acc_jev
+            nonlocal acc_solves, acc_reuses, acc_lle_max, acc_lle_flags
+            keep = np.asarray(keep, dtype=int)
+            if keep.size == 0:
+                lanes = []
+                return
+            x = x[keep]
+            y = y[keep]
+            t_end_arr = t_end_arr[keep]
+            x_reference = x_reference[keep]
+            divergence_limit = divergence_limit[keep]
+            lle_tolerance = lle_tolerance[keep]
+            state_rtol = state_rtol[keep]
+            acc_fevals = acc_fevals[keep]
+            acc_steps = acc_steps[keep]
+            acc_hmin = acc_hmin[keep]
+            acc_hmax = acc_hmax[keep]
+            acc_jev = acc_jev[keep]
+            acc_solves = acc_solves[keep]
+            acc_reuses = acc_reuses[keep]
+            acc_lle_max = acc_lle_max[keep]
+            acc_lle_flags = acc_lle_flags[keep]
+            recorder.select(keep)
+            if previous_a is not None:
+                previous_a = previous_a[keep]
+            if reduced is not None:
+                reduced = reduced.select(keep)
+            if controller is not None:
+                controller.select(keep)
+            integrator_state.history = type(integrator_state.history)(
+                (sample_t, sample_f[keep])
+                for sample_t, sample_f in integrator_state.history
+            )
+            assembler = assembler.select(keep)
+            lanes = [lanes[int(i)] for i in keep]
+
+        def finalize(i: int) -> bool:
+            """Final consistent record + materialised result for lane ``i``."""
+            nonlocal y
+            lane = lanes[i]
+            lane_assembler = assembler.lane_assembler(i)
+            try:
+                lin = lane_assembler.assemble(t, x[i], y[i])
+                lane_reduced = lane_assembler.eliminate(lin, x[i])
+            except SingularSystemError as exc:
+                failures[lane.index] = exc
+                return False
+            y[i] = lane_reduced.y_solution
+            recorder.record_lane(i, t, x, y)
+            stats = lane.stats
+            stats.n_function_evaluations = int(acc_fevals[i])
+            stats.n_steps = int(acc_steps[i])
+            stats.n_accepted_steps = int(acc_steps[i])
+            stats.min_step = float(acc_hmin[i])
+            stats.max_step = float(acc_hmax[i])
+            stats.n_jacobian_evaluations = int(acc_jev[i])
+            stats.n_linear_solves = int(acc_solves[i])
+            stats.cpu_time_s = (time.perf_counter() - wall_start) / b
+            stats.final_time = t
+            result = SimulationResult(
+                traces=recorder.traces_for(i, state_names, net_names),
+                stats=stats,
+            )
+            result.metadata["integrator"] = self.integrator.name
+            result.metadata["integrator_order"] = self.integrator.order
+            result.metadata["n_states"] = n_states
+            result.metadata["n_terminals"] = structure.n_terminals
+            result.metadata["lle_max_jacobian_change"] = float(acc_lle_max[i])
+            result.metadata["lle_flagged_steps"] = int(acc_lle_flags[i])
+            result.metadata["relinearise_interval"] = self._hold_limit
+            result.metadata["n_jacobian_reuses"] = int(acc_reuses[i])
+            result.metadata["batched"] = True
+            result.metadata["batch_lanes"] = b
+            result.metadata["lane_index"] = lane.index
+            result.metadata["compiled"] = backend
+            results[lane.index] = result
+            return True
+
+        def fail_lanes(indices: Sequence[int], errors: Sequence[Exception]) -> None:
+            for i, error in zip(indices, errors):
+                failures[lanes[i].index] = error
+            keep = np.array(
+                [i for i in range(len(lanes)) if i not in set(indices)], dtype=int
+            )
+            drop_lanes(keep)
+
+        def fail_diverged(bad: np.ndarray, t_at: float, h_at: float) -> None:
+            indices = [int(i) for i in np.flatnonzero(bad)]
+            fail_lanes(
+                indices,
+                [
+                    StabilityError(
+                        f"solution diverged at t={t_at:.6g} (step {h_at:.3g}); "
+                        "lane retired for exact scalar re-run"
+                    )
+                    for _ in indices
+                ],
+            )
+
+        def assemble_eliminate(*, initial: bool = False) -> bool:
+            """Fresh linearisation of all active lanes (vectorised stats)."""
+            nonlocal reduced, y, steps_since_assemble, x_reference, previous_a
+            nonlocal acc_jev, acc_solves, acc_lle_max, acc_lle_flags
+            while lanes:
+                lin = assembler.assemble(t, x, y)
+                try:
+                    reduced = assembler.eliminate(lin, x)
+                except SingularLaneError as exc:
+                    bad = list(exc.lane_indices)
+                    fail_lanes(
+                        bad,
+                        [
+                            SingularLaneError(
+                                str(exc), lane_indices=(lanes[i].index,)
+                            )
+                            for i in bad
+                        ],
+                    )
+                    continue
+                y = reduced.y_solution
+                if previous_a is None:
+                    previous_a = np.array(reduced.a_reduced, copy=True)
+                else:
+                    change = relative_jacobian_drift(reduced.a_reduced, previous_a)
+                    acc_lle_max = np.maximum(acc_lle_max, change)
+                    acc_lle_flags += change > lle_tolerance
+                    previous_a = np.array(reduced.a_reduced, copy=True)
+                if not initial:
+                    acc_jev += 1
+                acc_solves += 1
+                steps_since_assemble = 0
+                x_reference = x
+                return True
+            return False
+
+        if not assemble_eliminate(initial=True):
+            return BatchResult(results=results, failures=failures)
+        steps_since_assemble = self._hold_limit  # force refresh on first step
+        previous_a = None
+
+        while lanes:
+            # 1. finalise lanes that reached their end time
+            finished = t >= t_end_arr - _END_EPS
+            if np.any(finished):
+                for i in np.flatnonzero(finished):
+                    finalize(int(i))
+                keep = np.flatnonzero(~finished)
+                drop_lanes(keep)
+                if not lanes:
+                    break
+
+            # 2. linearise + eliminate, or reuse the held affine models
+            refresh = reduced is None or steps_since_assemble >= self._hold_limit
+            if not refresh and np.any(np.isfinite(state_rtol)):
+                drift = np.max(np.abs(x - x_reference), axis=1)
+                scale = np.max(np.abs(x_reference), axis=1)
+                refresh = bool(np.any(drift > state_rtol * (scale + 1e-300)))
+            if refresh:
+                if not assemble_eliminate():
+                    break
+            else:
+                y = reduced.terminal_values(x)
+                acc_reuses += 1
+            steps_since_assemble += 1
+
+            # 3. record traces
+            recorder.record(t, x, y)
+
+            # 4. choose the shared step size
+            remaining = t_end_arr - t
+            if self._fixed_step is not None:
+                h = float(min(self._fixed_step, float(np.min(remaining))))
+                h_nominal = self._fixed_step
+            elif refresh:
+                proposals = controller.propose(
+                    reduced.a_reduced, t_remaining=remaining
+                )
+                h = float(np.min(proposals))
+                controller.commit(h)
+                held_h = h
+                h_nominal = h
+            else:
+                h = float(min(held_h, float(np.min(remaining))))
+                h_nominal = held_h
+
+            # 5. one interpreted lock-step march (handles RK4 startup and
+            #    the step immediately after a refresh/record decision)
+            x = self.integrator.step_batch(
+                lambda _t, xs: reduced.derivative(xs), t, x, h, integrator_state
+            )
+            acc_fevals += 1
+            acc_steps += 1
+            acc_hmin = np.minimum(acc_hmin, h)
+            acc_hmax = np.maximum(acc_hmax, h)
+            t += h
+
+            # 6. divergence guard — retire tripped lanes, keep marching
+            norms = batched_state_norms(x)
+            bad = (
+                ~np.all(np.isfinite(x), axis=1)
+                | ~np.isfinite(norms)
+                | (norms > divergence_limit)
+            )
+            if np.any(bad):
+                fail_diverged(bad, t, h)
+                continue
+
+            # 7. burst the remaining held-model steps through the kernel.
+            #    The kernel exits on the interpreted loop's own events
+            #    (hold budget, t_end, record due, drift refresh,
+            #    divergence), so the outer loop resumes exactly where the
+            #    interpreted loop would make its next non-held decision.
+            max_burst = self._hold_limit - steps_since_assemble
+            if (
+                burstable
+                and lanes
+                and max_burst > 0
+                and recorder.burst_ready
+                and len(integrator_state.history) == order
+            ):
+                burst = kernel(
+                    reduced.a_reduced,
+                    reduced.b_reduced,
+                    x,
+                    t,
+                    h_nominal,
+                    t_end_arr,
+                    max_burst,
+                    list(integrator_state.history),
+                    recorder.last_record_times,
+                    recorder.thresholds,
+                    state_rtol,
+                    x_reference,
+                    divergence_limit,
+                )
+                if burst.steps:
+                    x = burst.x
+                    t = burst.t
+                    # the held-model terminal update the interpreted loop
+                    # would have made entering the *next* step: y lags x
+                    # by one step, so only the last pre-step state's
+                    # terminals are observable
+                    y = reduced.terminal_values(burst.x_prev)
+                    integrator_state.history = type(integrator_state.history)(
+                        burst.history
+                    )
+                    steps_since_assemble += burst.steps
+                    acc_reuses += burst.steps
+                    acc_fevals += burst.steps
+                    acc_steps += burst.steps
+                    acc_hmin = np.minimum(acc_hmin, burst.h_min)
+                    acc_hmax = np.maximum(acc_hmax, burst.h_max)
+                    if burst.diverged is not None and np.any(burst.diverged):
+                        fail_diverged(burst.diverged, t, burst.h_last)
 
         return BatchResult(results=results, failures=failures)
