@@ -123,6 +123,17 @@ class EngineRunInfo:
     n_batched_candidates: int = 0
     #: requested compiled lane-core mode ("off" | "auto" | backend name)
     compiled: str = "off"
+    #: *resolved* kernel backend the batched marches actually ran on
+    #: ("" when no batched march ran or compiled was off)
+    compiled_backend: str = ""
+    #: requested batched-refresh mode ("auto" | "batched" | "perlane")
+    refresh: str = "auto"
+    #: wall seconds spent inside march kernels, summed over lane blocks
+    kernel_time_s: float = 0.0
+    #: wall seconds spent relinearising/eliminating (the refresh path),
+    #: summed over lane blocks — together with ``kernel_time_s`` this is
+    #: the compiled loop's kernel-vs-interpreted time split
+    refresh_time_s: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -144,6 +155,8 @@ class _Task:
     cache_salt: Optional[str] = None
     #: compiled lane-core mode for the batched march ("off" interprets)
     compiled: str = "off"
+    #: batched-refresh mode for the batched march
+    refresh: str = "auto"
 
 
 @dataclass(frozen=True)
@@ -157,6 +170,13 @@ class _Outcome:
     #: whether the score came out of a batched lock-step march (as opposed
     #: to the scalar path, a runtime fallback or a checkpoint resume)
     batched: bool = False
+    #: resolved march-kernel backend of the batched run ("" on the scalar
+    #: path or with compiled off)
+    compiled_backend: str = ""
+    #: block-level kernel/refresh wall-time split, attached to one outcome
+    #: per lane block so engine-level sums count each block once
+    kernel_time_s: float = 0.0
+    refresh_time_s: float = 0.0
 
 
 # per-process cache of structural assembly setups, keyed by a cheap
@@ -297,6 +317,7 @@ def _evaluate_lane_block_inner(tasks: Sequence[_Task]) -> List[_Outcome]:
             integrator=tasks[0].integrator,
             settings=settings_list,
             compiled=tasks[0].compiled,
+            refresh=tasks[0].refresh,
         )
         for i, harvester in enumerate(harvesters):
             harvester._wire(solver.lane_wiring(i))
@@ -306,7 +327,27 @@ def _evaluate_lane_block_inner(tasks: Sequence[_Task]) -> List[_Outcome]:
         # settings, per-lane fixed steps ...): evaluate candidates serially
         return [_evaluate_task(task) for task in tasks]
 
+    # block-level kernel/refresh wall-time split: each lane carries the
+    # batch totals as of its own finalisation, so the block total is the
+    # max over lanes; it is attached to the first batched outcome only,
+    # letting the engine sum across blocks without double counting
+    block_backend = ""
+    block_kernel_time = block_refresh_time = 0.0
+    for result in batch.results:
+        if result is None:
+            continue
+        block_backend = str(result.metadata.get("compiled", ""))
+        block_kernel_time = max(
+            block_kernel_time,
+            float(result.metadata.get("compiled_kernel_time_s", 0.0)),
+        )
+        block_refresh_time = max(
+            block_refresh_time,
+            float(result.metadata.get("compiled_refresh_time_s", 0.0)),
+        )
+
     outcomes: List[_Outcome] = []
+    first_batched = True
     for i, task in enumerate(tasks):
         result = batch.results[i]
         if result is None:
@@ -322,8 +363,12 @@ def _evaluate_lane_block_inner(tasks: Sequence[_Task]) -> List[_Outcome]:
                 cpu_time_s=float(result.stats.cpu_time_s),
                 exact_rerun=False,
                 batched=True,
+                compiled_backend=block_backend,
+                kernel_time_s=block_kernel_time if first_batched else 0.0,
+                refresh_time_s=block_refresh_time if first_batched else 0.0,
             )
         )
+        first_batched = False
     return outcomes
 
 
@@ -451,6 +496,7 @@ class SweepEngine:
         backend: str = "process",
         lane_width: Optional[int] = None,
         compiled: str = "off",
+        refresh: str = "auto",
         cache: str = "off",
         cache_dir: Optional[str] = None,
         _facade: bool = False,
@@ -500,6 +546,20 @@ class SweepEngine:
             # fail in the parent at construction, not in a worker
             # mid-sweep, when an explicit backend is not importable
             resolve_compiled(compiled)
+        from ..core.batch import REFRESH_MODES
+
+        if refresh not in REFRESH_MODES:
+            raise ConfigurationError(
+                f"unknown refresh mode {refresh!r}; choose from "
+                f"{REFRESH_MODES}"
+            )
+        if refresh != "auto" and backend != "batched":
+            raise ConfigurationError(
+                f"incoherent options: refresh={refresh!r} with "
+                f"backend={backend!r} — the refresh path selects how the "
+                "batched march relinearises; drop refresh or select "
+                "backend='batched'"
+            )
         from ..api.options import CACHE_MODES
 
         if cache not in CACHE_MODES:
@@ -514,6 +574,7 @@ class SweepEngine:
         self.backend = backend
         self.lane_width = lane_width
         self.compiled = compiled
+        self.refresh = refresh
         self.cache = cache
         self.cache_dir = cache_dir
 
@@ -589,6 +650,8 @@ class SweepEngine:
         n_exact_reruns = n_batched = 0
         n_lane_blocks = n_batch_fallbacks = 0
         work_units = 0.0
+        compiled_backend = ""
+        kernel_time_s = refresh_time_s = 0.0
 
         while not strategy.done():
             proposals = strategy.propose(round_index)
@@ -675,6 +738,11 @@ class SweepEngine:
             n_cache_hits_total += n_cache_hits
             n_exact_reruns += sum(1 for o in outcomes.values() if o.exact_rerun)
             n_batched += sum(1 for o in outcomes.values() if o.batched)
+            kernel_time_s += sum(o.kernel_time_s for o in outcomes.values())
+            refresh_time_s += sum(o.refresh_time_s for o in outcomes.values())
+            for o in outcomes.values():
+                if o.compiled_backend:
+                    compiled_backend = o.compiled_backend
             n_lane_blocks += sum(1 for block in blocks if len(block) > 1)
             if self.backend == "batched":
                 n_batch_fallbacks += sum(1 for block in blocks if len(block) == 1)
@@ -704,6 +772,10 @@ class SweepEngine:
             n_cache_hits=n_cache_hits_total,
             cache=self.cache,
             compiled=self.compiled,
+            compiled_backend=compiled_backend,
+            refresh=self.refresh,
+            kernel_time_s=kernel_time_s,
+            refresh_time_s=refresh_time_s,
         )
 
         survivors_fn = getattr(strategy, "survivors", None)
@@ -754,6 +826,7 @@ class SweepEngine:
                     relinearise_interval=self.relinearise_interval,
                     reuse_assembly=self.reuse_assembly,
                     compiled=self.compiled,
+                    refresh=self.refresh,
                 )
             )
         return tasks

@@ -18,6 +18,7 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
+from ..core.batch import REFRESH_MODES
 from ..core.elimination import AssemblyStructure
 from ..core.errors import ConfigurationError
 from ..core.integrators import ExplicitIntegrator, make_integrator
@@ -30,6 +31,7 @@ __all__ = [
     "BACKENDS",
     "CACHE_MODES",
     "COMPILED_MODES",
+    "REFRESH_MODES",
     "execution_fingerprint",
 ]
 
@@ -72,6 +74,10 @@ def execution_fingerprint(
     batched march (so all modes share one fingerprint, ``"off"``), while
     adaptive batched runs fall under the same documented 10 % tolerance
     as the batched backend itself and fingerprint the requested mode.
+    The ``refresh`` knob is deliberately **not** part of the
+    fingerprint: the batched-refresh path is bit-identical to the
+    per-lane refresh on every backend (asserted by the test suite), so
+    it can never change a result and must not fragment the cache.
     """
     if integrator is None:
         integrator_form = None
@@ -136,6 +142,17 @@ class RunOptions:
         ``"off"``; adaptive runs fall under the batched backend's
         documented 10 % tolerance.  Only valid with
         ``backend="batched"``.
+    refresh:
+        Relinearisation path for the batched march
+        (:class:`~repro.core.batch.BatchedSolver`): ``"auto"``
+        (default) uses the prepared stacked batched refresh whenever a
+        compiled backend is active; ``"batched"`` forces it (also on
+        the interpreted loop); ``"perlane"`` keeps the generic
+        per-refresh block dispatch.  The two paths are bit-identical on
+        every backend, so this knob is pure performance and is excluded
+        from cache/checkpoint fingerprints.  Only meaningful with
+        ``backend="batched"``; a non-default value with the process
+        backend raises.
     n_workers:
         Worker processes for sweep execution.  ``1`` evaluates inline,
         byte-identical to the historical serial loop; ``None`` uses
@@ -192,6 +209,7 @@ class RunOptions:
     backend: str = "process"
     lane_width: Optional[int] = None
     compiled: str = "off"
+    refresh: str = "auto"
     n_workers: Optional[int] = 1
     checkpoint_path: Optional[str] = None
     progress: Optional[ProgressFn] = None
@@ -277,6 +295,18 @@ class RunOptions:
             # that is not importable fails here, at construction, not in
             # a worker process mid-sweep
             resolve_compiled(self.compiled)
+        if self.refresh not in REFRESH_MODES:
+            raise ConfigurationError(
+                f"unknown refresh mode {self.refresh!r}; choose from "
+                f"{REFRESH_MODES}"
+            )
+        if self.refresh != "auto" and self.backend != "batched":
+            raise ConfigurationError(
+                f"incoherent options: refresh={self.refresh!r} with "
+                f"backend={self.backend!r} — the refresh path selects how "
+                "the batched march relinearises; drop refresh or use "
+                "RunOptions.batched()"
+            )
         if self.n_workers is not None and self.n_workers < 1:
             raise ConfigurationError("n_workers must be at least 1")
         if self.relinearise_interval is not None and self.relinearise_interval < 1:

@@ -401,6 +401,7 @@ def execute_sweep(sweep, options: RunOptions) -> StudyResult:
         backend=options.backend,
         lane_width=options.lane_width,
         compiled=options.compiled,
+        refresh=options.refresh,
         cache=options.cache,
         cache_dir=options.cache_dir,
         _facade=True,
@@ -453,6 +454,7 @@ def execute_explore(sweep, options: RunOptions) -> ExplorationResult:
         backend=options.backend,
         lane_width=options.lane_width,
         compiled=options.compiled,
+        refresh=options.refresh,
         cache=options.cache,
         cache_dir=options.cache_dir,
         _facade=True,

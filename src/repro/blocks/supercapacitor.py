@@ -23,7 +23,12 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from ..core.block import AnalogueBlock, BatchedLinearisation, BlockLinearisation
+from ..core.block import (
+    AnalogueBlock,
+    BatchedLinearisation,
+    BlockLinearisation,
+    PreparedBlockLineariser,
+)
 from ..core.errors import ConfigurationError
 from .load import LoadProfile, OperatingMode
 
@@ -220,6 +225,24 @@ class Supercapacitor(AnalogueBlock):
         jyy[:, 0, 1] = 1.0
         return BatchedLinearisation(
             jxx=jxx, jxy=jxy, ex=np.zeros((b, 3)), jyx=jyx, jyy=jyy, ey=np.zeros((b, 1))
+        )
+
+    def batched_lineariser(self, lanes) -> PreparedBlockLineariser:
+        """Fully static fast lineariser for the batched refresh path.
+
+        The batched solver pins ``Req`` for the whole march (batched lanes
+        are controller-free), so every field of the Eq. (15) model is
+        lane-constant: the entire :class:`BatchedLinearisation` is computed
+        once here — via :meth:`linearise_batch`, hence bit-identical — and
+        reused on every refresh.
+        """
+        b = len(lanes)
+        static = self.linearise_batch(
+            lanes, 0.0, np.zeros((b, 3)), np.zeros((b, 2))
+        )
+        return PreparedBlockLineariser(
+            lineariser=lambda t, x, y: static,
+            constant=("jxx", "jxy", "ex", "jyx", "jyy", "ey"),
         )
 
     def initial_state(self) -> np.ndarray:

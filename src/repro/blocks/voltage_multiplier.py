@@ -34,7 +34,12 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core.block import AnalogueBlock, BatchedLinearisation, BlockLinearisation
+from ..core.block import (
+    AnalogueBlock,
+    BatchedLinearisation,
+    BlockLinearisation,
+    PreparedBlockLineariser,
+)
 from ..core.errors import ConfigurationError
 from ..core.pwl import CompanionTable
 from .diode import DiodeParameters, ShockleyDiode, build_diode_companion_table
@@ -314,6 +319,84 @@ class DicksonMultiplier(AnalogueBlock):
             jyx=np.broadcast_to(self._jyx_template, (b, 2, n_states)).copy(),
             jyy=np.broadcast_to(self._jyy_template, (b, 2, 4)).copy(),
             ey=np.zeros((b, 2)),
+        )
+
+    def batched_lineariser(
+        self, lanes: Sequence[AnalogueBlock]
+    ) -> PreparedBlockLineariser:
+        """Fast lineariser with all operating-point-independent work hoisted.
+
+        The capacitance stacks, the shared-companion-table check and the
+        four structurally constant fields (``jxy``, ``jyx``, ``jyy``,
+        ``ey``) are computed once; each refresh then performs only the
+        diode-voltage projection, the table lookups and the ``jxx``/``ex``
+        assembly, with the same expressions and accumulation order as
+        :meth:`linearise_batch` so the values stay bit-identical.
+        """
+        b = len(lanes)
+        n = self.n_stages
+        coefficients = self._vd_coefficients
+        pump_active = self._pump_active
+        n_states = n + 1
+
+        table = self.companion_table
+        shared_table = all(lane.companion_table is table for lane in lanes)
+        lane_tables = None if shared_table else [lane.companion_table for lane in lanes]
+
+        cin = np.array([lane.input_capacitance_f for lane in lanes])
+        caps = np.stack([lane.capacitances for lane in lanes])
+
+        # structurally constant fields, assembled exactly as linearise_batch
+        # does so the prepared path scatters the same floats
+        jxy = np.zeros((b, n_states, 4))
+        jxy[:, 0, 1] = 1.0 / cin
+        for k in range(n):
+            if pump_active[k] and k + 1 >= n:
+                jxy[:, 0, 3] -= 1.0 / cin
+        jxy[:, n, 3] = -1.0 / caps[:, -1]
+        jyx = np.broadcast_to(self._jyx_template, (b, 2, n_states)).copy()
+        jyy = np.broadcast_to(self._jyy_template, (b, 2, 4)).copy()
+        ey = np.zeros((b, 2))
+
+        def lineariser(t: float, x: np.ndarray, y: np.ndarray) -> BatchedLinearisation:
+            vd = np.matmul(coefficients, x[..., None])[..., 0]  # (B, n)
+            if lane_tables is None:
+                g, j = table.evaluate_batch(vd)
+            else:
+                g = np.empty((b, n))
+                j = np.empty((b, n))
+                for i, lane_table in enumerate(lane_tables):
+                    evaluate = lane_table.evaluate
+                    for k in range(n):
+                        g[i, k], j[i, k] = evaluate(float(vd[i, k]))
+
+            jxx = np.zeros((b, n_states, n_states))
+            ex = np.zeros((b, n_states))
+            for k in range(n):
+                if not pump_active[k]:
+                    continue
+                jxx[:, 0, :] += g[:, k, None] * coefficients[k, :] / cin[:, None]
+                ex[:, 0] += j[:, k] / cin
+                if k + 1 < n:
+                    jxx[:, 0, :] -= g[:, k + 1, None] * coefficients[k + 1, :] / cin[:, None]
+                    ex[:, 0] -= j[:, k + 1] / cin
+            for k in range(n - 1):
+                ck = caps[:, k, None]
+                jxx[:, k + 1, :] = (
+                    g[:, k, None] * coefficients[k, :]
+                    - g[:, k + 1, None] * coefficients[k + 1, :]
+                ) / ck
+                ex[:, k + 1] = (j[:, k] - j[:, k + 1]) / caps[:, k]
+            cn = caps[:, -1]
+            jxx[:, n, :] = g[:, n - 1, None] * coefficients[n - 1, :] / cn[:, None]
+            ex[:, n] = j[:, n - 1] / cn
+            return BatchedLinearisation(
+                jxx=jxx, jxy=jxy, ex=ex, jyx=jyx, jyy=jyy, ey=ey
+            )
+
+        return PreparedBlockLineariser(
+            lineariser=lineariser,
+            constant=("jxy", "jyx", "jyy", "ey"),
         )
 
     # ------------------------------------------------------------------ #

@@ -24,6 +24,14 @@ Execution model
   retired; lanes that trip the divergence guard or a singular elimination
   are retired with their error recorded so the caller can re-run them on
   the exact scalar path (:mod:`repro.analysis.engine` does exactly that).
+* **Batched refresh** (``refresh="auto" | "batched"``): each
+  relinearisation evaluates the active lanes' block models through a
+  prepared :class:`~repro.core.elimination.BatchedAssembler` workspace —
+  lane-constant Jacobian fields are scattered once per march and only the
+  state-dependent fields are rebuilt per refresh; block groups without a
+  batched lineariser fall back to the generic per-lane dispatch.  The
+  prepared path is bit-identical to the per-lane refresh
+  (``refresh="perlane"``), so the knob never changes results.
 * **Digital events are out of scope**: candidates with a digital kernel
   fall back to the scalar solver — a digital activation changes one lane's
   analogue model mid-march, which breaks the lock-step premise.
@@ -73,11 +81,47 @@ from .kernels import (
 )
 from .results import SimulationResult, SolverStats, Trace, TraceRecorder
 from .solver import ProbeFn, SolverSettings
-from .stepper import BatchedStepController, relative_jacobian_drift
+from .stepper import (
+    BatchedStepController,
+    negotiate_shared_step,
+    relative_jacobian_drift,
+)
 
 __all__ = ["BatchedSolver", "BatchResult"]
 
 _END_EPS = 1e-15
+
+#: values of the ``refresh`` knob: ``"auto"`` uses the prepared batched
+#: refresh whenever a compiled backend is active, ``"batched"`` forces it
+#: (also on the interpreted loop), ``"perlane"`` keeps the generic
+#: per-refresh block dispatch everywhere.
+REFRESH_MODES = ("auto", "batched", "perlane")
+
+
+def _needs_refresh(
+    reduced: Optional[BatchedReducedSystem],
+    steps_since_assemble: int,
+    hold_limit: int,
+    state_rtol: np.ndarray,
+    x: np.ndarray,
+    x_reference: np.ndarray,
+) -> bool:
+    """Shared refresh decision of both march loops.
+
+    A relinearisation is due when no reduced system exists yet, when the
+    hold budget (``relinearise_interval``) is exhausted, or when any
+    lane's state drifted beyond its ``relinearise_state_rtol`` guard
+    relative to the state the model was linearised around.  Both the
+    interpreted and the compiled loop call exactly this predicate (and
+    the march kernels replicate the drift expression), so the refresh
+    schedule cannot diverge between paths.
+    """
+    refresh = reduced is None or steps_since_assemble >= hold_limit
+    if not refresh and np.any(np.isfinite(state_rtol)):
+        drift = np.max(np.abs(x - x_reference), axis=1)
+        scale = np.max(np.abs(x_reference), axis=1)
+        refresh = bool(np.any(drift > state_rtol * (scale + 1e-300)))
+    return refresh
 
 
 @dataclass
@@ -315,6 +359,15 @@ class BatchedSolver:
         loop, preserving correctness.  Fixed-step results remain
         byte-identical to the interpreted path (asserted by the test
         suite for the numpy backend and by CI for numba).
+    refresh:
+        Relinearisation path (``"auto" | "batched" | "perlane"``).
+        ``"batched"`` prepares the assembler's workspace-backed refresh
+        (stacked block evaluation with lane-constant fields scattered
+        once); ``"perlane"`` keeps the generic per-refresh dispatch;
+        ``"auto"`` prepares whenever a compiled backend is active.  The
+        two paths are bit-identical, so this knob is pure performance
+        (and is excluded from result caching fingerprints for the same
+        reason).
     """
 
     def __init__(
@@ -323,6 +376,7 @@ class BatchedSolver:
         integrator: Optional[ExplicitIntegrator] = None,
         settings: Union[SolverSettings, Sequence[SolverSettings], None] = None,
         compiled: str = "off",
+        refresh: str = "auto",
     ) -> None:
         self.batched_assembler = BatchedAssembler(assemblers)
         b = self.batched_assembler.n_lanes
@@ -367,6 +421,12 @@ class BatchedSolver:
         # eager resolution: an explicitly requested unavailable backend
         # raises here, at construction, not mid-march
         self._compiled_backend = resolve_compiled(compiled)
+        if refresh not in REFRESH_MODES:
+            raise ConfigurationError(
+                f"unknown refresh mode {refresh!r}; "
+                f"choose one of {REFRESH_MODES}"
+            )
+        self._refresh_mode = refresh
 
     @property
     def n_lanes(self) -> int:
@@ -412,10 +472,28 @@ class BatchedSolver:
         With ``compiled != "off"`` the march runs through the
         accumulator-based compiled loop (see ``_run_compiled``); results
         carry ``metadata["compiled"]`` naming the kernel backend.
+
+        Depending on the ``refresh`` mode the batched assembler is
+        prepared for workspace-backed stacked refreshes before the march
+        and always unprepared afterwards (``try/finally``), so the
+        solver object stays reusable and side-effect free.
         """
-        if self._compiled_backend is not None:
-            return self._run_compiled(t_end, t_start=t_start, x0=x0)
-        return self._run_interpreted(t_end, t_start=t_start, x0=x0)
+        use_batched = self._refresh_mode == "batched" or (
+            self._refresh_mode == "auto" and self._compiled_backend is not None
+        )
+        try:
+            if use_batched:
+                any_prepared = self.batched_assembler.prepare()
+                if not any_prepared and self._refresh_mode == "auto":
+                    # nothing to gain: no block group has a batched
+                    # lineariser, so keep the plain generic path
+                    self.batched_assembler.unprepare()
+            if self._compiled_backend is not None:
+                return self._run_compiled(t_end, t_start=t_start, x0=x0)
+            return self._run_interpreted(t_end, t_start=t_start, x0=x0)
+        finally:
+            self.batched_assembler.unprepare()
+            self.batched_assembler.enable_compiled_eliminate("off")
 
     def _run_interpreted(
         self,
@@ -580,6 +658,7 @@ class BatchedSolver:
             result.metadata["batched"] = True
             result.metadata["batch_lanes"] = b
             result.metadata["lane_index"] = lane.index
+            result.metadata["batched_refresh"] = assembler.prepared
             results[lane.index] = result
             return True
 
@@ -655,11 +734,10 @@ class BatchedSolver:
                     break
 
             # 2. linearise + eliminate, or reuse the held affine models
-            refresh = reduced is None or steps_since_assemble >= self._hold_limit
-            if not refresh and np.any(np.isfinite(state_rtol)):
-                drift = np.max(np.abs(x - x_reference), axis=1)
-                scale = np.max(np.abs(x_reference), axis=1)
-                refresh = bool(np.any(drift > state_rtol * (scale + 1e-300)))
+            refresh = _needs_refresh(
+                reduced, steps_since_assemble, self._hold_limit,
+                state_rtol, x, x_reference,
+            )
             if refresh:
                 if not assemble_eliminate():
                     break
@@ -673,18 +751,10 @@ class BatchedSolver:
             record()
 
             # 4. choose the shared step size
-            remaining = t_end_arr - t
-            if self._fixed_step is not None:
-                h = float(min(self._fixed_step, float(np.min(remaining))))
-            elif refresh:
-                proposals = controller.propose(
-                    reduced.a_reduced, t_remaining=remaining
-                )
-                h = float(np.min(proposals))
-                controller.commit(h)
-                held_h = h
-            else:
-                h = float(min(held_h, float(np.min(remaining))))
+            h, _h_nominal, held_h = negotiate_shared_step(
+                controller, reduced.a_reduced, t_end_arr - t,
+                self._fixed_step, refresh, held_h,
+            )
 
             # 5. lock-step explicit march (Eq. 5, all lanes at once)
             x = self.integrator.step_batch(
@@ -735,11 +805,26 @@ class BatchedSolver:
         * trace recording goes through one :class:`_BatchedRecorder`
           (geometrically grown row buffers) instead of per-lane
           ``TraceRecorder`` objects;
-        * after each interpreted step, the remaining held-model steps are
-          advanced in one march-kernel burst (``K = min(steps_until_
-          refresh, steps_until_record, steps_until_t_end)``, realised as
+        * the march advances in **full-window kernel bursts**: right
+          after a refresh (or a record stop) the remaining held-model
+          steps — up to the whole ``relinearise_interval`` window — run
+          in one march-kernel call (``K = min(steps_until_refresh,
+          steps_until_record, steps_until_t_end)``, realised as
           per-iteration exit checks inside the kernel — see
-          :mod:`repro.core.kernels`).
+          :mod:`repro.core.kernels`).  Step negotiation happens once per
+          burst through :func:`~repro.core.stepper.negotiate_shared_step`
+          and is carried into the kernel as ``h_nominal`` (the kernel's
+          per-step clamp ``min(h_nominal, min(t_end) - t_j)`` replicates
+          the interpreted held-step clamp bitwise), so adaptive runs
+          advance in multi-step bursts too.  Interpreted single steps
+          remain only as the fallback for RK4 startup, non-AB
+          integrators, and recorders that are not burst-ready;
+        * with the batched refresh prepared and a numba backend, the
+          per-refresh elimination additionally runs through a fused
+          per-lane jit kernel that is adopted only after a bitwise
+          on-data check against the stacked-NumPy path (see
+          :meth:`~repro.core.elimination.BatchedAssembler.
+          enable_compiled_eliminate`).
 
         Fixed-step results are byte-identical to the interpreted loop;
         the kernel replicates its array expressions exactly (numpy
@@ -762,6 +847,10 @@ class BatchedSolver:
             kernel = get_march_kernel(backend)
 
         assembler = self.batched_assembler
+        if backend == "numba" and assembler.prepared:
+            # fused per-lane elimination: verified bitwise against the
+            # stacked path on first use, silently dropped on mismatch
+            assembler.enable_compiled_eliminate("numba")
         b = assembler.n_lanes
         n_states = assembler.n_states
 
@@ -850,6 +939,10 @@ class BatchedSolver:
         order = self.integrator.order
 
         wall_start = time.perf_counter()
+        # kernel-vs-interpreted wall-time split, reported through result
+        # metadata (batch-level totals as of each lane's finalisation)
+        kernel_time = 0.0
+        refresh_time = 0.0
         reduced: Optional[BatchedReducedSystem] = None
         previous_a: Optional[np.ndarray] = None  # Jacobian-drift monitoring
         steps_since_assemble = 0
@@ -896,18 +989,25 @@ class BatchedSolver:
             assembler = assembler.select(keep)
             lanes = [lanes[int(i)] for i in keep]
 
-        def finalize(i: int) -> bool:
-            """Final consistent record + materialised result for lane ``i``."""
+        def finalize(i: int, *, consistent: bool = False) -> bool:
+            """Final consistent record + materialised result for lane ``i``.
+
+            With ``consistent=True`` the caller already refreshed ``y``
+            for every lane through one batched assemble/eliminate
+            (bit-identical to the per-lane solve), so the scalar solve
+            is skipped.
+            """
             nonlocal y
             lane = lanes[i]
-            lane_assembler = assembler.lane_assembler(i)
-            try:
-                lin = lane_assembler.assemble(t, x[i], y[i])
-                lane_reduced = lane_assembler.eliminate(lin, x[i])
-            except SingularSystemError as exc:
-                failures[lane.index] = exc
-                return False
-            y[i] = lane_reduced.y_solution
+            if not consistent:
+                lane_assembler = assembler.lane_assembler(i)
+                try:
+                    lin = lane_assembler.assemble(t, x[i], y[i])
+                    lane_reduced = lane_assembler.eliminate(lin, x[i])
+                except SingularSystemError as exc:
+                    failures[lane.index] = exc
+                    return False
+                y[i] = lane_reduced.y_solution
             recorder.record_lane(i, t, x, y)
             stats = lane.stats
             stats.n_function_evaluations = int(acc_fevals[i])
@@ -935,6 +1035,9 @@ class BatchedSolver:
             result.metadata["batch_lanes"] = b
             result.metadata["lane_index"] = lane.index
             result.metadata["compiled"] = backend
+            result.metadata["batched_refresh"] = assembler.prepared
+            result.metadata["compiled_kernel_time_s"] = kernel_time
+            result.metadata["compiled_refresh_time_s"] = refresh_time
             results[lane.index] = result
             return True
 
@@ -963,37 +1066,44 @@ class BatchedSolver:
             """Fresh linearisation of all active lanes (vectorised stats)."""
             nonlocal reduced, y, steps_since_assemble, x_reference, previous_a
             nonlocal acc_jev, acc_solves, acc_lle_max, acc_lle_flags
-            while lanes:
-                lin = assembler.assemble(t, x, y)
-                try:
-                    reduced = assembler.eliminate(lin, x)
-                except SingularLaneError as exc:
-                    bad = list(exc.lane_indices)
-                    fail_lanes(
-                        bad,
-                        [
-                            SingularLaneError(
-                                str(exc), lane_indices=(lanes[i].index,)
-                            )
-                            for i in bad
-                        ],
-                    )
-                    continue
-                y = reduced.y_solution
-                if previous_a is None:
-                    previous_a = np.array(reduced.a_reduced, copy=True)
-                else:
-                    change = relative_jacobian_drift(reduced.a_reduced, previous_a)
-                    acc_lle_max = np.maximum(acc_lle_max, change)
-                    acc_lle_flags += change > lle_tolerance
-                    previous_a = np.array(reduced.a_reduced, copy=True)
-                if not initial:
-                    acc_jev += 1
-                acc_solves += 1
-                steps_since_assemble = 0
-                x_reference = x
-                return True
-            return False
+            nonlocal refresh_time
+            refresh_start = time.perf_counter()
+            try:
+                while lanes:
+                    lin = assembler.assemble(t, x, y)
+                    try:
+                        reduced = assembler.eliminate(lin, x)
+                    except SingularLaneError as exc:
+                        bad = list(exc.lane_indices)
+                        fail_lanes(
+                            bad,
+                            [
+                                SingularLaneError(
+                                    str(exc), lane_indices=(lanes[i].index,)
+                                )
+                                for i in bad
+                            ],
+                        )
+                        continue
+                    y = reduced.y_solution
+                    if previous_a is None:
+                        previous_a = np.array(reduced.a_reduced, copy=True)
+                    else:
+                        change = relative_jacobian_drift(
+                            reduced.a_reduced, previous_a
+                        )
+                        acc_lle_max = np.maximum(acc_lle_max, change)
+                        acc_lle_flags += change > lle_tolerance
+                        previous_a = np.array(reduced.a_reduced, copy=True)
+                    if not initial:
+                        acc_jev += 1
+                    acc_solves += 1
+                    steps_since_assemble = 0
+                    x_reference = x
+                    return True
+                return False
+            finally:
+                refresh_time += time.perf_counter() - refresh_start
 
         if not assemble_eliminate(initial=True):
             return BatchResult(results=results, failures=failures)
@@ -1001,85 +1111,73 @@ class BatchedSolver:
         previous_a = None
 
         while lanes:
-            # 1. finalise lanes that reached their end time
+            # 1. finalise lanes that reached their end time.  When every
+            #    active lane finishes together (the fixed-step shared-t_end
+            #    case) the final consistency solve runs once, batched —
+            #    bit-identical to the per-lane solves — instead of B times;
+            #    a singular batched solve falls back to the per-lane path
+            #    so failure blame stays lane-accurate.
             finished = t >= t_end_arr - _END_EPS
             if np.any(finished):
-                for i in np.flatnonzero(finished):
-                    finalize(int(i))
+                idx = np.flatnonzero(finished)
+                consistent = False
+                if idx.size == len(lanes) and idx.size > 1:
+                    try:
+                        lin = assembler.assemble(t, x, y)
+                        final_reduced = assembler.eliminate(lin, x)
+                    except (SingularLaneError, SingularSystemError):
+                        consistent = False
+                    else:
+                        y = final_reduced.y_solution
+                        consistent = True
+                for i in idx:
+                    finalize(int(i), consistent=consistent)
                 keep = np.flatnonzero(~finished)
                 drop_lanes(keep)
                 if not lanes:
                     break
 
-            # 2. linearise + eliminate, or reuse the held affine models
-            refresh = reduced is None or steps_since_assemble >= self._hold_limit
-            if not refresh and np.any(np.isfinite(state_rtol)):
-                drift = np.max(np.abs(x - x_reference), axis=1)
-                scale = np.max(np.abs(x_reference), axis=1)
-                refresh = bool(np.any(drift > state_rtol * (scale + 1e-300)))
+            # 2. linearise + eliminate, or reuse the held affine models.
+            #    Step accounting (reuse counters, hold budget) moves to
+            #    the march below so bursts and single steps share it.
+            refresh = _needs_refresh(
+                reduced, steps_since_assemble, self._hold_limit,
+                state_rtol, x, x_reference,
+            )
             if refresh:
                 if not assemble_eliminate():
                     break
             else:
                 y = reduced.terminal_values(x)
-                acc_reuses += 1
-            steps_since_assemble += 1
 
             # 3. record traces
             recorder.record(t, x, y)
 
-            # 4. choose the shared step size
-            remaining = t_end_arr - t
-            if self._fixed_step is not None:
-                h = float(min(self._fixed_step, float(np.min(remaining))))
-                h_nominal = self._fixed_step
-            elif refresh:
-                proposals = controller.propose(
-                    reduced.a_reduced, t_remaining=remaining
-                )
-                h = float(np.min(proposals))
-                controller.commit(h)
-                held_h = h
-                h_nominal = h
-            else:
-                h = float(min(held_h, float(np.min(remaining))))
-                h_nominal = held_h
-
-            # 5. one interpreted lock-step march (handles RK4 startup and
-            #    the step immediately after a refresh/record decision)
-            x = self.integrator.step_batch(
-                lambda _t, xs: reduced.derivative(xs), t, x, h, integrator_state
+            # 4. negotiate the shared step once per burst; ``h_nominal``
+            #    carries the decision into the kernel, whose per-step
+            #    clamp ``min(h_nominal, min(t_end) - t_j)`` replicates
+            #    the interpreted held-step clamp bitwise
+            h, h_nominal, held_h = negotiate_shared_step(
+                controller, reduced.a_reduced, t_end_arr - t,
+                self._fixed_step, refresh, held_h,
             )
-            acc_fevals += 1
-            acc_steps += 1
-            acc_hmin = np.minimum(acc_hmin, h)
-            acc_hmax = np.maximum(acc_hmax, h)
-            t += h
 
-            # 6. divergence guard — retire tripped lanes, keep marching
-            norms = batched_state_norms(x)
-            bad = (
-                ~np.all(np.isfinite(x), axis=1)
-                | ~np.isfinite(norms)
-                | (norms > divergence_limit)
-            )
-            if np.any(bad):
-                fail_diverged(bad, t, h)
-                continue
-
-            # 7. burst the remaining held-model steps through the kernel.
-            #    The kernel exits on the interpreted loop's own events
-            #    (hold budget, t_end, record due, drift refresh,
-            #    divergence), so the outer loop resumes exactly where the
-            #    interpreted loop would make its next non-held decision.
+            # 5. march the whole remaining hold window in one kernel
+            #    burst (after a refresh that is the full
+            #    relinearise_interval).  The kernel exits on the
+            #    interpreted loop's own events (hold budget, t_end,
+            #    record due, drift refresh, divergence), so the outer
+            #    loop resumes exactly where the interpreted loop would
+            #    make its next non-held decision.
             max_burst = self._hold_limit - steps_since_assemble
+            burst_steps = 0
             if (
                 burstable
-                and lanes
                 and max_burst > 0
                 and recorder.burst_ready
                 and len(integrator_state.history) == order
             ):
+                kernel_start = time.perf_counter()
                 burst = kernel(
                     reduced.a_reduced,
                     reduced.b_reduced,
@@ -1095,7 +1193,9 @@ class BatchedSolver:
                     x_reference,
                     divergence_limit,
                 )
-                if burst.steps:
+                kernel_time += time.perf_counter() - kernel_start
+                burst_steps = burst.steps
+                if burst_steps:
                     x = burst.x
                     t = burst.t
                     # the held-model terminal update the interpreted loop
@@ -1106,13 +1206,42 @@ class BatchedSolver:
                     integrator_state.history = type(integrator_state.history)(
                         burst.history
                     )
-                    steps_since_assemble += burst.steps
-                    acc_reuses += burst.steps
-                    acc_fevals += burst.steps
-                    acc_steps += burst.steps
+                    steps_since_assemble += burst_steps
+                    # the interpreted loop counts every held step as a
+                    # reuse but not the fresh post-refresh step
+                    acc_reuses += (burst_steps - 1) if refresh else burst_steps
+                    acc_fevals += burst_steps
+                    acc_steps += burst_steps
                     acc_hmin = np.minimum(acc_hmin, burst.h_min)
                     acc_hmax = np.maximum(acc_hmax, burst.h_max)
                     if burst.diverged is not None and np.any(burst.diverged):
                         fail_diverged(burst.diverged, t, burst.h_last)
+
+            # 6. interpreted single step — the fallback for RK4 startup,
+            #    non-Adams-Bashforth integrators, recorders that are not
+            #    burst-ready, and kernel no-ops
+            if burst_steps == 0:
+                x = self.integrator.step_batch(
+                    lambda _t, xs: reduced.derivative(xs),
+                    t, x, h, integrator_state,
+                )
+                if not refresh:
+                    acc_reuses += 1
+                steps_since_assemble += 1
+                acc_fevals += 1
+                acc_steps += 1
+                acc_hmin = np.minimum(acc_hmin, h)
+                acc_hmax = np.maximum(acc_hmax, h)
+                t += h
+
+                # divergence guard — retire tripped lanes, keep marching
+                norms = batched_state_norms(x)
+                bad = (
+                    ~np.all(np.isfinite(x), axis=1)
+                    | ~np.isfinite(norms)
+                    | (norms > divergence_limit)
+                )
+                if np.any(bad):
+                    fail_diverged(bad, t, h)
 
         return BatchResult(results=results, failures=failures)

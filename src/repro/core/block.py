@@ -26,8 +26,8 @@ finite-difference Jacobians (see :mod:`repro.core.linearise`).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -36,6 +36,7 @@ from .errors import ConfigurationError
 __all__ = [
     "BlockLinearisation",
     "BatchedLinearisation",
+    "PreparedBlockLineariser",
     "AnalogueBlock",
     "LinearBlock",
     "Terminal",
@@ -165,6 +166,29 @@ class BatchedLinearisation:
                     f"batched linearisation field {attr!r} has shape {actual}, "
                     f"expected {shape}"
                 )
+
+
+@dataclass
+class PreparedBlockLineariser:
+    """A lane-set-bound fast lineariser for repeated batched refreshes.
+
+    ``lineariser(t, x_local, y_local)`` must return a
+    :class:`BatchedLinearisation` bit-identical to what
+    :func:`repro.core.linearise.linearise_block_lanes` would produce for
+    the same lane set at the same point — the batched refresh path swaps
+    it in transparently, so any numeric deviation breaks the fixed-step
+    byte-identity contract.
+
+    ``constant`` names the fields (``"jxx"``, ``"jxy"``, ``"ex"``,
+    ``"jyx"``, ``"jyy"``, ``"ey"``) whose arrays are *reused unchanged*
+    across calls: the caller may scatter them into its workspace once and
+    skip them on subsequent refreshes.  Fields not listed must be assumed
+    freshly computed on every call (their array objects may still be
+    reused buffers — callers must not hold references across calls).
+    """
+
+    lineariser: Callable[[float, np.ndarray, np.ndarray], "BatchedLinearisation"]
+    constant: Tuple[str, ...] = field(default_factory=tuple)
 
 
 class AnalogueBlock(ABC):
@@ -314,6 +338,24 @@ class AnalogueBlock(ABC):
         """
         return None
 
+    def batched_lineariser(
+        self, lanes: Sequence["AnalogueBlock"]
+    ) -> Optional["PreparedBlockLineariser"]:
+        """Bind a reusable fast lineariser to a fixed lane set, or ``None``.
+
+        Called once per march by the batched refresh path with the
+        same-structure lanes (``lanes[0] is self``) that will be
+        relinearised together many times.  A block that can hoist
+        lane-constant work (parameter stacks, constant Jacobian blocks,
+        shared companion tables) returns a :class:`PreparedBlockLineariser`
+        closing over the precomputed arrays; returning ``None`` keeps the
+        generic :func:`~repro.core.linearise.linearise_block_lanes`
+        dispatch for this block.  The prepared lineariser must be
+        bit-identical to that dispatch — it is a caching layer, not an
+        alternative model.
+        """
+        return None
+
     # ------------------------------------------------------------------ #
     # digital / control hooks
     # ------------------------------------------------------------------ #
@@ -455,3 +497,39 @@ class LinearBlock(AnalogueBlock):
         )
         lin.validate(len(lanes), self.n_states, self.n_terminals, self.n_algebraic)
         return lin
+
+    def batched_lineariser(
+        self, lanes: Sequence[AnalogueBlock]
+    ) -> PreparedBlockLineariser:
+        # the constant matrices stack once; excitations stay on the scalar
+        # per-lane path (bit-identity with linearise_batch / linearise)
+        jxx = np.stack([lane.a for lane in lanes])
+        jxy = np.stack([lane.b for lane in lanes])
+        jyx = np.stack([lane.c for lane in lanes])
+        jyy = np.stack([lane.d for lane in lanes])
+        constant = ["jxx", "jxy", "jyx", "jyy"]
+        ex_static = None
+        if all(lane._excitation is None for lane in lanes):
+            ex_static = np.zeros((len(lanes), self.n_states))
+            constant.append("ex")
+        ey_static = None
+        if all(lane._algebraic_excitation is None for lane in lanes):
+            ey_static = np.zeros((len(lanes), self.n_algebraic))
+            constant.append("ey")
+
+        def lineariser(
+            t: float, x: np.ndarray, y: np.ndarray
+        ) -> BatchedLinearisation:
+            ex = ex_static
+            if ex is None:
+                ex = np.stack([lane._u(t) for lane in lanes])
+            ey = ey_static
+            if ey is None:
+                ey = np.stack([lane._w(t) for lane in lanes])
+            return BatchedLinearisation(
+                jxx=jxx, jxy=jxy, ex=ex, jyx=jyx, jyy=jyy, ey=ey
+            )
+
+        return PreparedBlockLineariser(
+            lineariser=lineariser, constant=tuple(constant)
+        )

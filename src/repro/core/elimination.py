@@ -34,7 +34,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .block import AnalogueBlock, BatchedLinearisation, BlockLinearisation
+from .block import (
+    AnalogueBlock,
+    BatchedLinearisation,
+    BlockLinearisation,
+    PreparedBlockLineariser,
+)
 from .errors import ConfigurationError, SingularLaneError, SingularSystemError
 from .linearise import linearise_block, linearise_block_lanes
 from .netlist import Net, Netlist
@@ -415,6 +420,28 @@ class SystemAssembler:
 # ---------------------------------------------------------------------- #
 # batched (lane-parallel) assembly and elimination
 # ---------------------------------------------------------------------- #
+_NO_CONSTANT_FIELDS: frozenset = frozenset()
+
+
+@dataclass
+class _PreparedGroup:
+    """One block group of a prepared batched assembly.
+
+    Carries the group's scatter indices (precomputed from the shared
+    :class:`AssemblyStructure`) plus the block's
+    :class:`~repro.core.block.PreparedBlockLineariser` when available;
+    ``prepared is None`` keeps the group on the generic
+    :func:`~repro.core.linearise.linearise_block_lanes` dispatch.
+    """
+
+    lanes: List[AnalogueBlock]
+    sl: slice
+    terminal_idx: np.ndarray
+    rows: Optional[slice]
+    prepared: Optional[PreparedBlockLineariser]
+    constant: frozenset
+
+
 @dataclass
 class BatchedGlobalLinearisation:
     """The assembled Jacobian blocks of ``B`` lanes, stacked lane-first."""
@@ -532,6 +559,14 @@ class BatchedAssembler:
             [assembler.blocks[i] for assembler in self._assemblers]
             for i in range(len(self._assemblers[0].blocks))
         ]
+        # batched-refresh state (see prepare())
+        self._groups: Optional[List[_PreparedGroup]] = None
+        self._workspace: Optional[BatchedGlobalLinearisation] = None
+        self._static_scattered = False
+        # optional compiled elimination (see enable_compiled_eliminate())
+        self._eliminate_backend = "off"
+        self._eliminate_kernel = None
+        self._eliminate_pending = False
 
     # ------------------------------------------------------------------ #
     # structural queries
@@ -562,11 +597,162 @@ class BatchedAssembler:
 
     def select(self, keep: np.ndarray) -> "BatchedAssembler":
         """Sub-batch containing only the lanes selected by ``keep`` indices."""
-        return BatchedAssembler([self._assemblers[int(i)] for i in keep])
+        clone = BatchedAssembler([self._assemblers[int(i)] for i in keep])
+        if self._workspace is not None:
+            clone.prepare()
+        if self._eliminate_backend != "off":
+            clone.enable_compiled_eliminate(self._eliminate_backend)
+        return clone
 
     def initial_state(self) -> np.ndarray:
         """Stacked initial global state vectors, shape ``(B, n_states)``."""
         return np.stack([assembler.initial_state() for assembler in self._assemblers])
+
+    # ------------------------------------------------------------------ #
+    # batched refresh preparation
+    # ------------------------------------------------------------------ #
+    def prepare(self) -> bool:
+        """Bind the batched refresh fast path to this assembler's lane set.
+
+        Asks every block group for a
+        :class:`~repro.core.block.PreparedBlockLineariser` and allocates a
+        persistent scatter workspace; subsequent :meth:`assemble` calls run
+        through :meth:`_assemble_prepared`, which re-scatters only the
+        fields each group declares non-constant (groups without a prepared
+        lineariser keep the generic dispatch and re-scatter everything).
+        Returns ``True`` when at least one group produced a prepared
+        lineariser, i.e. when preparation can save work at all.  The
+        produced linearisations are bit-identical to the unprepared path
+        by the :class:`PreparedBlockLineariser` contract, so flipping this
+        on never changes results.
+
+        The workspace arrays are reused across calls — callers must treat
+        the returned :class:`BatchedGlobalLinearisation` as transient and
+        must not mutate or retain its fields past the next refresh.
+        """
+        s = self._structure
+        b = self.n_lanes
+        groups: List[_PreparedGroup] = []
+        any_prepared = False
+        for lanes in self._block_lanes:
+            rep = lanes[0]
+            offset = s.state_offsets[rep.name]
+            sl = slice(offset, offset + rep.n_states)
+            rows: Optional[slice] = None
+            if rep.n_algebraic:
+                r0 = s.alg_offsets[rep.name]
+                rows = slice(r0, r0 + rep.n_algebraic)
+            prepared = rep.batched_lineariser(lanes)
+            if prepared is not None:
+                any_prepared = True
+            groups.append(
+                _PreparedGroup(
+                    lanes=list(lanes),
+                    sl=sl,
+                    terminal_idx=s.terminal_maps[rep.name],
+                    rows=rows,
+                    prepared=prepared,
+                    constant=(
+                        frozenset(prepared.constant)
+                        if prepared is not None
+                        else frozenset()
+                    ),
+                )
+            )
+        self._groups = groups
+        self._workspace = BatchedGlobalLinearisation(
+            jxx=np.zeros((b, s.n_states, s.n_states)),
+            jxy=np.zeros((b, s.n_states, s.n_terminals)),
+            ex=np.zeros((b, s.n_states)),
+            jyx=np.zeros((b, s.n_algebraic, s.n_states)),
+            jyy=np.zeros((b, s.n_algebraic, s.n_terminals)),
+            ey=np.zeros((b, s.n_algebraic)),
+        )
+        self._static_scattered = False
+        return any_prepared
+
+    def unprepare(self) -> None:
+        """Drop the batched-refresh fast path; assemble() goes generic again."""
+        self._groups = None
+        self._workspace = None
+        self._static_scattered = False
+
+    @property
+    def prepared(self) -> bool:
+        """Whether the batched-refresh fast path is active."""
+        return self._workspace is not None
+
+    def _assemble_prepared(
+        self, t: float, x_global: np.ndarray, y_global: np.ndarray
+    ) -> BatchedGlobalLinearisation:
+        """Scatter into the persistent workspace, skipping constant fields.
+
+        On the first call every field is scattered (and shape-validated);
+        afterwards a field is re-scattered only when its group declares it
+        non-constant.  Accumulation fields (``jxy``/``jyy`` use ``+=`` over
+        possibly-repeated net columns) are zeroed over the group's private
+        row range first, which reproduces the zero-workspace semantics of
+        the generic :meth:`assemble` exactly — row ranges of different
+        groups are disjoint by construction.
+        """
+        ws = self._workspace
+        assert ws is not None and self._groups is not None
+        first = not self._static_scattered
+        for grp in self._groups:
+            rep = grp.lanes[0]
+            sl = grp.sl
+            terminal_idx = grp.terminal_idx
+            if grp.prepared is not None:
+                lin = grp.prepared.lineariser(
+                    t, x_global[:, sl], y_global[:, terminal_idx]
+                )
+                constant = grp.constant
+            else:
+                lin = linearise_block_lanes(
+                    grp.lanes, t, x_global[:, sl], y_global[:, terminal_idx]
+                )
+                constant = _NO_CONSTANT_FIELDS
+            if first:
+                lin.validate(
+                    self.n_lanes, rep.n_states, rep.n_terminals, rep.n_algebraic
+                )
+            if first or "jxx" not in constant:
+                ws.jxx[:, sl, sl] = lin.jxx
+            if first or "ex" not in constant:
+                ws.ex[:, sl] = lin.ex
+            if rep.n_terminals and (first or "jxy" not in constant):
+                if not first:
+                    ws.jxy[:, sl, :] = 0.0
+                ws.jxy[:, sl, terminal_idx] += lin.jxy
+            if grp.rows is not None:
+                rows = grp.rows
+                if first or "jyx" not in constant:
+                    ws.jyx[:, rows, sl] = lin.jyx
+                if rep.n_terminals and (first or "jyy" not in constant):
+                    if not first:
+                        ws.jyy[:, rows, :] = 0.0
+                    ws.jyy[:, rows, terminal_idx] += lin.jyy
+                if first or "ey" not in constant:
+                    ws.ey[:, rows] = lin.ey
+        self._static_scattered = True
+        return ws
+
+    # ------------------------------------------------------------------ #
+    # compiled elimination
+    # ------------------------------------------------------------------ #
+    def enable_compiled_eliminate(self, backend: str) -> None:
+        """Opt in to a jitted fused elimination for ``backend`` (``"numba"``).
+
+        The kernel is engaged lazily: the first :meth:`eliminate` call
+        after this runs both the stacked-NumPy path and the kernel on the
+        same live data and adopts the kernel only if every output array is
+        bitwise identical — any deviation (or an unavailable backend)
+        silently keeps the NumPy path, so reproducibility can never
+        regress.  Unknown backends are ignored.
+        """
+        self._eliminate_backend = str(backend)
+        self._eliminate_kernel = None
+        self._eliminate_pending = backend == "numba"
 
     # ------------------------------------------------------------------ #
     # assembly and elimination
@@ -574,7 +760,14 @@ class BatchedAssembler:
     def assemble(
         self, t: float, x_global: np.ndarray, y_global: np.ndarray
     ) -> BatchedGlobalLinearisation:
-        """Linearise every block group and scatter into stacked Jacobians."""
+        """Linearise every block group and scatter into stacked Jacobians.
+
+        When :meth:`prepare` has bound the fast path, the scatter runs
+        through the persistent workspace with constant fields skipped; the
+        result is bit-identical either way.
+        """
+        if self._workspace is not None:
+            return self._assemble_prepared(t, x_global, y_global)
         b = self.n_lanes
         s = self._structure
         jxx = np.zeros((b, s.n_states, s.n_states))
@@ -627,13 +820,31 @@ class BatchedAssembler:
             )
         if jyy.shape[1] == 0:
             empty = np.zeros((b, 0))
+            # copy: lin may alias the persistent prepared workspace, and
+            # the reduced system must outlive the next refresh
             return BatchedReducedSystem(
-                a_reduced=lin.jxx,
-                b_reduced=lin.ex,
+                a_reduced=lin.jxx.copy(),
+                b_reduced=lin.ex.copy(),
                 y_solution=empty,
                 elimination_matrix=np.zeros((b, 0, n_states)),
                 elimination_offset=empty,
             )
+        if self._eliminate_kernel is not None:
+            try:
+                em, eo, a_red, b_red = self._eliminate_kernel(
+                    lin.jxx, lin.jxy, lin.ex, lin.jyx, jyy, lin.ey
+                )
+            except np.linalg.LinAlgError:
+                pass  # singular lane: the NumPy path below assigns blame
+            else:
+                y_solution = np.matmul(em, x_global[..., None])[..., 0] + eo
+                return BatchedReducedSystem(
+                    a_reduced=a_red,
+                    b_reduced=b_red,
+                    y_solution=y_solution,
+                    elimination_matrix=em,
+                    elimination_offset=eo,
+                )
         rhs = np.empty((b, jyy.shape[1], n_states + 1))
         rhs[:, :, :-1] = lin.jyx
         rhs[:, :, -1] = lin.ey
@@ -663,6 +874,30 @@ class BatchedAssembler:
         )
         a_reduced = lin.jxx + np.matmul(lin.jxy, elimination_matrix)
         b_reduced = lin.ex + np.matmul(lin.jxy, elimination_offset[..., None])[..., 0]
+        if self._eliminate_pending:
+            # one-shot on-data verification: adopt the jitted fused
+            # elimination only if it reproduces the stacked-NumPy result
+            # bit-for-bit on this march's live arrays
+            self._eliminate_pending = False
+            from .kernels import get_eliminate_kernel
+
+            kernel = get_eliminate_kernel(self._eliminate_backend)
+            if kernel is not None:
+                try:
+                    k_em, k_eo, k_a, k_b = kernel(
+                        lin.jxx, lin.jxy, lin.ex, lin.jyx, jyy, lin.ey
+                    )
+                except Exception:  # pragma: no cover - jit runtime failure
+                    kernel = None
+                else:
+                    if not (
+                        np.array_equal(k_em, elimination_matrix)
+                        and np.array_equal(k_eo, elimination_offset)
+                        and np.array_equal(k_a, a_reduced)
+                        and np.array_equal(k_b, b_reduced)
+                    ):
+                        kernel = None
+                self._eliminate_kernel = kernel
         return BatchedReducedSystem(
             a_reduced=a_reduced,
             b_reduced=b_reduced,

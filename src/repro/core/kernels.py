@@ -61,6 +61,7 @@ __all__ = [
     "MarchResult",
     "available_backends",
     "batched_state_norms",
+    "get_eliminate_kernel",
     "get_march_kernel",
     "resolve_compiled",
 ]
@@ -794,3 +795,84 @@ def get_march_kernel(backend: str) -> Callable:
             )
         _KERNELS[backend] = kernel
     return kernel
+
+
+# --------------------------------------------------------------------- #
+# fused lane elimination (batched refresh hot loop)
+# --------------------------------------------------------------------- #
+
+def _eliminate_lanes_impl(
+    jxx: np.ndarray,
+    jxy: np.ndarray,
+    ex: np.ndarray,
+    jyx: np.ndarray,
+    jyy: np.ndarray,
+    ey: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-lane terminal elimination — plain loops, numba-compilable.
+
+    Mirrors the stacked-NumPy elimination in
+    :meth:`repro.core.elimination.BatchedAssembler.eliminate` operation
+    for operation: one LAPACK solve of ``jyy`` against ``[jyx | ey]``
+    per lane, then the Schur-style reduction of the state Jacobian.  The
+    offset product keeps its trailing unit dimension so the BLAS call is
+    the same dgemm NumPy issues for the stacked ``matmul`` — the caller
+    verifies bitwise agreement on live data before trusting this kernel.
+
+    Returns ``(elimination_matrix, elimination_offset, a_reduced,
+    b_reduced)``.
+    """
+    n_lanes, n, _ = jxx.shape
+    m = jyy.shape[1]
+    em = np.empty((n_lanes, m, n))
+    eo = np.empty((n_lanes, m))
+    a_red = np.empty((n_lanes, n, n))
+    b_red = np.empty((n_lanes, n))
+    for i in range(n_lanes):
+        rhs = np.empty((m, n + 1))
+        rhs[:, :n] = jyx[i]
+        rhs[:, n] = ey[i]
+        sol = np.linalg.solve(np.ascontiguousarray(jyy[i]), rhs)
+        em[i] = -sol[:, :n]
+        eo[i] = -sol[:, n]
+        a_red[i] = jxx[i] + np.dot(jxy[i], np.ascontiguousarray(em[i]))
+        b_red[i] = ex[i] + np.dot(jxy[i], eo[i].copy().reshape(m, 1))[:, 0]
+    return em, eo, a_red, b_red
+
+
+def _build_numba_eliminate() -> Callable:
+    """Compile the fused elimination with numba and smoke-run it once."""
+    from numba import njit  # noqa: PLC0415 — optional dependency
+
+    kernel = njit(cache=True)(_eliminate_lanes_impl)
+    kernel(
+        np.zeros((1, 2, 2)),
+        np.zeros((1, 2, 1)),
+        np.zeros((1, 2)),
+        np.zeros((1, 1, 2)),
+        np.full((1, 1, 1), 2.0),
+        np.zeros((1, 1)),
+    )
+    return kernel
+
+
+_ELIM_KERNELS: Dict[str, Optional[Callable]] = {}
+
+
+def get_eliminate_kernel(backend: str) -> Optional[Callable]:
+    """Build (once) the fused eliminate kernel for ``backend``, or None.
+
+    Only ``"numba"`` has a fused elimination — the stacked-NumPy path in
+    :class:`~repro.core.elimination.BatchedAssembler` *is* the numpy
+    backend, and jax lanes refresh on the host.  A failed build caches
+    ``None`` so the caller silently keeps the stacked path.
+    """
+    if backend not in _ELIM_KERNELS:
+        kernel: Optional[Callable] = None
+        if backend == "numba":
+            try:
+                kernel = _build_numba_eliminate()
+            except Exception:  # noqa: BLE001 — degrade, never fail a run
+                kernel = None
+        _ELIM_KERNELS[backend] = kernel
+    return _ELIM_KERNELS[backend]

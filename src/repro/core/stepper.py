@@ -17,7 +17,7 @@ used by the solver each step.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -32,6 +32,7 @@ __all__ = [
     "StepControlSettings",
     "StepSizeController",
     "BatchedStepController",
+    "negotiate_shared_step",
     "relative_jacobian_drift",
 ]
 
@@ -406,3 +407,45 @@ class BatchedStepController:
     def commit(self, h_shared: float) -> None:
         """Record the shared step actually executed by the lock-step march."""
         self._h_current = np.full(self.n_lanes, float(h_shared))
+
+
+def negotiate_shared_step(
+    controller: Optional["BatchedStepController"],
+    reduced_a: Optional[np.ndarray],
+    remaining: np.ndarray,
+    fixed_step: Optional[float],
+    refresh: bool,
+    held_h: Optional[float],
+) -> "Tuple[float, float, Optional[float]]":
+    """One shared-step decision of the lock-step march loops.
+
+    The single implementation of the step-choice block both
+    ``BatchedSolver`` loops share (the compiled loop additionally feeds
+    ``h_nominal`` to its burst kernels, whose in-burst schedule
+    ``h_j = min(h_nominal, min(t_end) - t_j)`` replicates the held-step
+    clamp below bitwise — that is what lets adaptive runs advance in
+    multi-step bursts between negotiations):
+
+    * fixed-step mode: ``h = min(fixed_step, min(remaining))``;
+    * at a refresh: batched proposals against the fresh Jacobians, march
+      at their minimum, commit it as the new held step;
+    * on held steps: reuse the committed step, clamped to the remaining
+      time.
+
+    Returns ``(h, h_nominal, held_h)`` — the step to take now, the
+    nominal step a burst may repeat until its next clamp/event, and the
+    updated held step.
+    """
+    if fixed_step is not None:
+        return (
+            float(min(fixed_step, float(np.min(remaining)))),
+            fixed_step,
+            held_h,
+        )
+    if refresh:
+        proposals = controller.propose(reduced_a, t_remaining=remaining)
+        h = float(np.min(proposals))
+        controller.commit(h)
+        return h, h, h
+    h = float(min(held_h, float(np.min(remaining))))
+    return h, held_h, held_h
