@@ -24,7 +24,7 @@ import pytest
 from repro.blocks.diode import DiodeParameters, ShockleyDiode, build_diode_companion_table
 from repro.harvester.config import paper_harvester
 from repro import Study
-from repro.harvester.scenarios import Scenario, charging_scenario
+from repro.harvester.scenarios import charging_scenario
 from repro.io.report import format_table
 
 _pwl_rows = {}

@@ -17,7 +17,6 @@ the reproduced quantity is the *ratio* of CPU cost per simulated second,
 i.e. which simulator wins and by roughly what factor.
 """
 
-import pytest
 
 from repro.analysis.speedup import SpeedupTable, TimingEntry
 from repro.baselines.implicit_solver import ImplicitSolverSettings

@@ -8,7 +8,7 @@ rows that mirror the paper's tables.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from ..core.errors import ConfigurationError
 from ..core.results import SimulationResult

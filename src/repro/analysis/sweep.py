@@ -34,7 +34,7 @@ distinct topology, keyed by the spec's structural hash.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
 from ..core.errors import ConfigurationError
 from ..core.results import SimulationResult

@@ -32,6 +32,7 @@ __all__ = [
     "CACHE_MODES",
     "COMPILED_MODES",
     "REFRESH_MODES",
+    "FINGERPRINT_EXEMPT",
     "execution_fingerprint",
 ]
 
@@ -102,6 +103,44 @@ def execution_fingerprint(
         "seed": None if seed is None else int(seed),
         "compiled": compiled_form,
     }
+
+
+#: RunOptions fields deliberately excluded from the execution fingerprint,
+#: each with the one-line reason it can never change a per-candidate
+#: result.  The static checker (``repro check``, rule family
+#: ``fingerprint``) enforces that every field is either read by
+#: :meth:`RunOptions.fingerprint` or listed here — an unfingerprinted
+#: result-changing knob silently serves stale cache entries, so any new
+#: field must pick a side explicitly.
+FINGERPRINT_EXEMPT = {
+    "lane_width": "lane packing changes batching granularity only; fixed-step "
+    "marches are byte-identical across widths and adaptive ones fall under "
+    "the documented 10% shared-step tolerance fingerprinted via 'backend'",
+    "refresh": "batched refresh is asserted bit-identical to per-lane refresh "
+    "on every backend by the test suite; fingerprinting it would fragment "
+    "the cache across equivalent executions",
+    "n_workers": "worker count only changes scheduling; the engine's "
+    "determinism contract makes results independent of parallelism",
+    "checkpoint_path": "where a checkpoint is written never affects what is "
+    "computed; the checkpoint's own config hash derives from the fingerprint",
+    "progress": "a reporting callback observes the run and cannot feed back "
+    "into any result",
+    "reuse_assembly": "assembly reuse is a pure memoisation of structurally "
+    "identical systems; the assembled operators are identical either way",
+    "assembly_structure": "a pre-built structure is the same object the "
+    "builder would derive from the spec; supplying it skips work, not math",
+    "cache": "the cache mode decides whether results are stored or served, "
+    "never what a computed result contains",
+    "cache_dir": "storage location of the result cache; contents are keyed "
+    "by the fingerprint itself",
+    "store_traces": "trace retention only controls how much of an already "
+    "computed result is kept in memory",
+    "explore": "the exploration strategy picks which candidates run, not "
+    "what any single candidate scores; per-candidate cache keys stay valid "
+    "across strategies (seeded subsets are covered by 'seed')",
+    "budget": "candidate budget sizes the explored set; like 'explore' it "
+    "selects work rather than changing any candidate's result",
+}
 
 
 @dataclass(frozen=True)

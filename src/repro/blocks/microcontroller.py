@@ -25,7 +25,7 @@ Probes read: ``storage_voltage``, ``ambient_frequency``,
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import List, Optional, Tuple
 

@@ -30,7 +30,7 @@ voltages ``V1 ... Vn``.  The block contributes two algebraic constraints:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
 import numpy as np
 

@@ -40,7 +40,17 @@ __all__ = [
     "AnalogueBlock",
     "LinearBlock",
     "Terminal",
+    "LINEARISATION_FIELDS",
+    "BATCHED_PROTOCOL_METHODS",
 ]
+
+#: field names of a (batched) linearisation, in canonical order — the only
+#: names a :class:`PreparedBlockLineariser` may declare ``constant``
+LINEARISATION_FIELDS = ("jxx", "jxy", "ex", "jyx", "jyy", "ey")
+
+#: the batched-block protocol methods whose signatures the solver calls
+#: positionally (and the static checker verifies against overrides)
+BATCHED_PROTOCOL_METHODS = ("evaluate_batch", "linearise_batch", "batched_lineariser")
 
 
 @dataclass(frozen=True)

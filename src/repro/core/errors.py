@@ -7,6 +7,19 @@ single ``except`` clause.
 
 from __future__ import annotations
 
+__all__ = [
+    "SimulationError",
+    "ConfigurationError",
+    "CacheCorruptionError",
+    "ConnectionError_",
+    "SingularSystemError",
+    "SingularLaneError",
+    "StabilityError",
+    "ConvergenceError",
+    "StepSizeError",
+    "TableRangeError",
+]
+
 
 class SimulationError(Exception):
     """Base class for every error raised by the simulation engine."""

@@ -54,7 +54,6 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .errors import ConfigurationError
-from .integrators.adams_bashforth import _variable_step_weights
 
 __all__ = [
     "COMPILED_MODES",

@@ -32,7 +32,7 @@ Three roles exist:
 from __future__ import annotations
 
 import importlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from .errors import ConfigurationError
@@ -201,6 +201,19 @@ class BlockRegistry:
     def __contains__(self, key: str) -> bool:
         self.ensure_default_library()
         return key in self._entries
+
+    def entries(self, role: Optional[str] = None) -> List[RegistryEntry]:
+        """Registered entries (optionally filtered by role), key-sorted.
+
+        The introspection surface the static checker (``repro check``)
+        uses to validate terminal declarations without special access.
+        """
+        self.ensure_default_library()
+        return [
+            self._entries[key]
+            for key in sorted(self._entries)
+            if role is None or self._entries[key].role == role
+        ]
 
     def keys(self, role: Optional[str] = None) -> List[str]:
         """Registered keys (optionally filtered by role), sorted."""

@@ -21,7 +21,6 @@ This module provides both criteria:
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

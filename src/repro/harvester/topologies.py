@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..core.builder import (
     BuiltSystem,
@@ -41,7 +41,6 @@ from ..core.spec import (
     ConnectionSpec,
     ExcitationSpec,
     ProbeSpec,
-    SolverHints,
     SystemSpec,
 )
 

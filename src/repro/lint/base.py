@@ -1,0 +1,317 @@
+"""Shared machinery of the static contract checker (:mod:`repro.lint`).
+
+The checker is deliberately small and dependency-free: a *project* is a
+directory of Python sources parsed once into :class:`SourceFile` objects
+(path + text + ``ast`` tree), a *rule* is a class with a ``family`` id
+and a ``run(project)`` generator yielding structured :class:`Finding`
+records, and pragmas (``# repro-lint: disable=RULE -- reason``) suppress
+findings after the fact so every suppression is greppable and justified.
+
+Everything here is pure AST analysis — no file in the checked tree is
+imported.  The runner adds a *targeted* importlib pass on top when the
+checked tree is the live :mod:`repro` package (see
+:func:`repro.lint.runner.run_check`).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "SEVERITIES",
+    "Finding",
+    "Pragma",
+    "SourceFile",
+    "Project",
+    "LintRule",
+    "parse_pragmas",
+    "module_bindings",
+    "iter_classes",
+    "string_elements",
+]
+
+#: finding severities — ``error`` findings fail the check (nonzero exit),
+#: ``warning`` findings are reported but do not
+ERROR = "error"
+WARNING = "warning"
+SEVERITIES = (ERROR, WARNING)
+
+#: ``# repro-lint: disable=RULE[,RULE...] -- reason`` (reason mandatory)
+_PRAGMA_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_.,\- ]+?)\s*(?:--\s*(.*\S))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One structured checker finding.
+
+    ``rule_id`` is ``<family>.<check>`` (e.g.
+    ``fingerprint.unfingerprinted``); ``path`` is the file relative to the
+    checked root (posix separators); ``line`` is 1-based.
+    """
+
+    rule_id: str
+    path: str
+    line: int
+    message: str
+    severity: str = ERROR
+
+    def sort_key(self) -> Tuple[str, int, str]:
+        return (self.path, self.line, self.rule_id)
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule_id}] {self.message}"
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """One parsed ``# repro-lint: disable=...`` comment.
+
+    ``file_level`` is true when the comment stands on its own line, in
+    which case it suppresses the named rules for the whole file; inline
+    pragmas suppress only findings on their own line.
+    """
+
+    line: int
+    rules: Tuple[str, ...]
+    reason: Optional[str]
+    file_level: bool
+
+    def suppresses(self, finding: Finding) -> bool:
+        if self.reason is None:
+            return False  # reasonless pragmas are themselves findings
+        if not self.file_level and finding.line != self.line:
+            return False
+        family = finding.rule_id.split(".", 1)[0]
+        return any(rule in (finding.rule_id, family) for rule in self.rules)
+
+
+def _pragma_from_comment(comment: str, lineno: int, file_level: bool) -> Optional[Pragma]:
+    match = _PRAGMA_RE.search(comment)
+    if match is None:
+        return None
+    rules = tuple(
+        token.strip() for token in match.group(1).split(",") if token.strip()
+    )
+    return Pragma(
+        line=lineno, rules=rules, reason=match.group(2), file_level=file_level
+    )
+
+
+def parse_pragmas(lines: Sequence[str]) -> List[Pragma]:
+    """Extract every repro-lint pragma from a file's source lines.
+
+    Tokenises the source so only genuine ``#`` comments count — pragma
+    syntax quoted inside a docstring or string literal (as this package's
+    own documentation does) is not a pragma.  Falls back to a plain line
+    scan when the file does not tokenise (syntax-error fixtures).
+    """
+    pragmas: List[Pragma] = []
+    text = "\n".join(lines)
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(text).readline):
+            if tok.type != tokenize.COMMENT:
+                continue
+            lineno = tok.start[0]
+            file_level = lines[lineno - 1].strip().startswith("#")
+            pragma = _pragma_from_comment(tok.string, lineno, file_level)
+            if pragma is not None:
+                pragmas.append(pragma)
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        for lineno, line in enumerate(lines, start=1):
+            pragma = _pragma_from_comment(
+                line, lineno, line.strip().startswith("#")
+            )
+            if pragma is not None:
+                pragmas.append(pragma)
+    return pragmas
+
+
+@dataclass
+class SourceFile:
+    """One parsed source file of the checked tree."""
+
+    path: Path
+    rel: str
+    text: str
+    tree: Optional[ast.Module]
+    syntax_error: Optional[SyntaxError] = None
+    lines: List[str] = field(default_factory=list)
+    pragmas: List[Pragma] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: Path, root: Path) -> "SourceFile":
+        text = path.read_text(encoding="utf-8")
+        tree: Optional[ast.Module] = None
+        error: Optional[SyntaxError] = None
+        try:
+            tree = ast.parse(text, filename=str(path))
+        except SyntaxError as exc:
+            error = exc
+        lines = text.splitlines()
+        return cls(
+            path=path,
+            rel=path.relative_to(root).as_posix(),
+            text=text,
+            tree=tree,
+            syntax_error=error,
+            lines=lines,
+            pragmas=parse_pragmas(lines),
+        )
+
+    @property
+    def name(self) -> str:
+        return self.path.name
+
+    def is_private_module(self) -> bool:
+        """Private modules (``_name.py``) are exempt from the public-surface
+        rules; package ``__init__.py`` files are public."""
+        return self.name.startswith("_") and self.name != "__init__.py"
+
+
+@dataclass
+class Project:
+    """A checked source tree: the root directory plus its parsed files."""
+
+    root: Path
+    files: List[SourceFile]
+
+    @classmethod
+    def load(cls, root: Path) -> "Project":
+        root = root.resolve()
+        paths = sorted(
+            p
+            for p in root.rglob("*.py")
+            if "__pycache__" not in p.parts
+            and not any(part.startswith(".") for part in p.relative_to(root).parts)
+        )
+        return cls(root=root, files=[SourceFile.load(p, root) for p in paths])
+
+    def file(self, rel: str) -> Optional[SourceFile]:
+        for sf in self.files:
+            if sf.rel == rel:
+                return sf
+        return None
+
+
+class LintRule:
+    """Base class of one checker rule family.
+
+    Subclasses set ``family`` (the rule-id prefix) and ``description``
+    and implement :meth:`run` yielding :class:`Finding` records.  Rules
+    must be pure functions of the project — no filesystem writes, no
+    imports of checked code.
+    """
+
+    family: str = ""
+    description: str = ""
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self,
+        check: str,
+        sf: SourceFile,
+        line: int,
+        message: str,
+        severity: str = ERROR,
+    ) -> Finding:
+        return Finding(
+            rule_id=f"{self.family}.{check}",
+            path=sf.rel,
+            line=line,
+            message=message,
+            severity=severity,
+        )
+
+
+# --------------------------------------------------------------------- #
+# AST helpers shared by the rules
+# --------------------------------------------------------------------- #
+def module_bindings(tree: ast.Module) -> Set[str]:
+    """Names bound at module level (including inside top-level if/try).
+
+    A ``from x import *`` contributes the marker ``"*"`` so callers can
+    bail out of static resolution.
+    """
+    bound: Set[str] = set()
+
+    def bind_target(target: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            bound.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                bind_target(elt)
+        elif isinstance(target, ast.Starred):
+            bind_target(target.value)
+
+    def visit(stmts: Iterable[ast.stmt]) -> None:
+        for node in stmts:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                bound.add(node.name)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    bind_target(target)
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                bind_target(node.target)
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    bound.add(alias.asname or alias.name)
+            elif isinstance(node, ast.If):
+                visit(node.body)
+                visit(node.orelse)
+            elif isinstance(node, ast.Try):
+                visit(node.body)
+                for handler in node.handlers:
+                    visit(handler.body)
+                visit(node.orelse)
+                visit(node.finalbody)
+            elif isinstance(node, (ast.For, ast.While)):
+                if isinstance(node, ast.For):
+                    bind_target(node.target)
+                visit(node.body)
+                visit(node.orelse)
+            elif isinstance(node, ast.With):
+                for item in node.items:
+                    if item.optional_vars is not None:
+                        bind_target(item.optional_vars)
+                visit(node.body)
+    visit(tree.body)
+    return bound
+
+
+def iter_classes(tree: ast.Module) -> Iterator[ast.ClassDef]:
+    """Every class definition in the module, including nested ones."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            yield node
+
+
+def string_elements(node: ast.expr) -> Optional[List[Tuple[str, int]]]:
+    """The ``(value, lineno)`` pairs of a literal list/tuple of strings.
+
+    Returns ``None`` when the node is not a fully-literal string sequence
+    (so callers can fall back or skip instead of mis-reporting).
+    """
+    if not isinstance(node, (ast.List, ast.Tuple)):
+        return None
+    out: List[Tuple[str, int]] = []
+    for elt in node.elts:
+        if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+            out.append((elt.value, elt.lineno))
+        else:
+            return None
+    return out

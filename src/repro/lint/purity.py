@@ -1,0 +1,332 @@
+"""Rule family ``kernel-purity`` — compiled march/eliminate kernels stay pure.
+
+The compiled lane core (:mod:`repro.core.kernels`) promises two things:
+numba never falls back to object mode (which would silently run the hot
+loop at interpreter speed), and a kernel invocation is a pure function
+of its arguments (bitwise reproducibility is what lets the cache and the
+fixed-step identity tests trust it).  Both properties are easy to lose
+with one innocent-looking edit, so this rule walks every function that
+is jit-compiled — ``@njit``-decorated or passed through an
+``njit(...)(func)`` build call — and forbids:
+
+* ``kernel-purity.nondeterminism`` — ``np.random``/``random``/
+  ``datetime``/``time`` access: kernels must be replayable bit-for-bit;
+* ``kernel-purity.forbidden-call`` — calls that force object mode or IO
+  (``print``, ``open``, ``dict``, ``str``, ``getattr`` ...);
+* ``kernel-purity.object-mode`` — constructs numba lowers poorly or not
+  at all in nopython mode (dict/set literals and comprehensions,
+  f-strings, bare string constants outside the docstring, ``with``,
+  ``try``, ``yield``, ``lambda``, ``global``/``nonlocal``, imports);
+* ``kernel-purity.closure`` — free variables other than the numeric
+  allowlist (``np``/``numpy``/``math`` plus arithmetic builtins): a
+  kernel closing over mutable state compiles against a snapshot and
+  desynchronises from the interpreter the moment the closure mutates.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set, Tuple
+
+from .base import Finding, LintRule, Project, SourceFile
+
+__all__ = [
+    "KernelPurityRule",
+    "ALLOWED_FREE_NAMES",
+    "FORBIDDEN_CALLS",
+    "NONDETERMINISM_ROOTS",
+]
+
+#: free (non-local) names a compiled kernel may reference
+ALLOWED_FREE_NAMES = frozenset(
+    {
+        "np",
+        "numpy",
+        "math",
+        # arithmetic / iteration builtins numba lowers in nopython mode
+        "range",
+        "len",
+        "abs",
+        "min",
+        "max",
+        "float",
+        "int",
+        "bool",
+        "round",
+        "enumerate",
+        "zip",
+        "divmod",
+        "complex",
+    }
+)
+
+#: calls that force object mode, IO or interpreter services
+FORBIDDEN_CALLS = frozenset(
+    {
+        "print",
+        "open",
+        "input",
+        "eval",
+        "exec",
+        "compile",
+        "globals",
+        "locals",
+        "vars",
+        "getattr",
+        "setattr",
+        "delattr",
+        "hasattr",
+        "dict",
+        "set",
+        "frozenset",
+        "str",
+        "repr",
+        "format",
+        "bytes",
+        "bytearray",
+        "object",
+        "type",
+        "super",
+        "id",
+        "hash",
+        "sorted",
+        "list",
+    }
+)
+
+#: attribute roots whose use makes a kernel nondeterministic
+NONDETERMINISM_ROOTS = frozenset({"random", "datetime", "time"})
+
+
+def _compiled_function_names(tree: ast.Module) -> Set[str]:
+    """Names of functions built via ``njit(...)(func)`` / ``njit(func)``."""
+
+    def is_njit(node: ast.expr) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id == "njit"
+        if isinstance(node, ast.Attribute):
+            return node.attr == "njit"
+        return False
+
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        # njit(cache=True)(target) — the outer call's func is the njit call
+        if isinstance(func, ast.Call) and is_njit(func.func):
+            for arg in node.args:
+                if isinstance(arg, ast.Name):
+                    names.add(arg.id)
+        elif is_njit(func):  # njit(target)
+            for arg in node.args:
+                if isinstance(arg, ast.Name):
+                    names.add(arg.id)
+    return names
+
+
+def _is_decorated_njit(func: ast.FunctionDef) -> bool:
+    for decorator in func.decorator_list:
+        node = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(node, ast.Name) and node.id == "njit":
+            return True
+        if isinstance(node, ast.Attribute) and node.attr == "njit":
+            return True
+    return False
+
+
+def _bound_names(func: ast.FunctionDef) -> Set[str]:
+    """Every name bound inside the function (params, assigns, targets)."""
+    bound: Set[str] = set()
+    args = func.args
+    for a in (
+        *args.posonlyargs,
+        *args.args,
+        *args.kwonlyargs,
+        *( [args.vararg] if args.vararg else [] ),
+        *( [args.kwarg] if args.kwarg else [] ),
+    ):
+        bound.add(a.arg)
+    for node in ast.walk(func):
+        if isinstance(node, ast.Name) and isinstance(
+            node.ctx, (ast.Store, ast.Del)
+        ):
+            bound.add(node.id)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            if node is not func:
+                bound.add(node.name)
+    return bound
+
+
+def _annotation_node_ids(func: ast.FunctionDef) -> Set[int]:
+    """``id()`` of every AST node inside a type annotation of ``func``.
+
+    Annotations are metadata numba never executes, so names like
+    ``Tuple`` or string forward references inside them are not closure
+    or object-mode hazards.
+    """
+    roots: List[ast.expr] = []
+    for node in ast.walk(func):
+        if isinstance(node, ast.arg) and node.annotation is not None:
+            roots.append(node.annotation)
+        elif isinstance(node, ast.AnnAssign) and node.annotation is not None:
+            roots.append(node.annotation)
+        elif (
+            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and node.returns is not None
+        ):
+            roots.append(node.returns)
+    skip: Set[int] = set()
+    for root in roots:
+        for sub in ast.walk(root):
+            skip.add(id(sub))
+    return skip
+
+
+def _docstring_lines(func: ast.FunctionDef) -> Tuple[int, int]:
+    """(start, end) line range of the function docstring, or (0, 0)."""
+    if (
+        func.body
+        and isinstance(func.body[0], ast.Expr)
+        and isinstance(func.body[0].value, ast.Constant)
+        and isinstance(func.body[0].value.value, str)
+    ):
+        node = func.body[0].value
+        return (node.lineno, node.end_lineno or node.lineno)
+    return (0, 0)
+
+
+class KernelPurityRule(LintRule):
+    """No object-mode hazards or nondeterminism in jit-compiled kernels."""
+
+    family = "kernel-purity"
+    description = (
+        "njit-compiled march/eliminate kernels must be free of object-mode "
+        "hazards, nondeterminism sources and closures over non-numeric state"
+    )
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        for sf in project.files:
+            if sf.tree is None:
+                continue
+            compiled = _compiled_function_names(sf.tree)
+            for node in ast.walk(sf.tree):
+                if not isinstance(node, ast.FunctionDef):
+                    continue
+                if node.name in compiled or _is_decorated_njit(node):
+                    yield from self._check_kernel(sf, node)
+
+    def _check_kernel(
+        self, sf: SourceFile, func: ast.FunctionDef
+    ) -> Iterator[Finding]:
+        doc_start, doc_end = _docstring_lines(func)
+        bound = _bound_names(func)
+        skip = _annotation_node_ids(func)
+        label = f"compiled kernel {func.name}"
+        for node in ast.walk(func):
+            if node is func or id(node) in skip:
+                continue
+            findings = self._check_node(sf, node, label, bound, doc_start, doc_end)
+            yield from findings
+
+    def _check_node(
+        self,
+        sf: SourceFile,
+        node: ast.AST,
+        label: str,
+        bound: Set[str],
+        doc_start: int,
+        doc_end: int,
+    ) -> List[Finding]:
+        out: List[Finding] = []
+        if isinstance(node, ast.Attribute):
+            root = node
+            chain = [node.attr]
+            while isinstance(root.value, ast.Attribute):
+                root = root.value
+                chain.append(root.attr)
+            if isinstance(root.value, ast.Name):
+                base = root.value.id
+                chain.append(base)
+                dotted = ".".join(reversed(chain))
+                if base in NONDETERMINISM_ROOTS or (
+                    base in ("np", "numpy") and chain[-2] == "random"
+                ):
+                    out.append(
+                        self.finding(
+                            "nondeterminism",
+                            sf,
+                            node.lineno,
+                            f"{label} references {dotted} — kernels must be "
+                            "bit-for-bit replayable, so clocks and random "
+                            "sources are forbidden; pass values in as "
+                            "arguments",
+                        )
+                    )
+        elif isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name) and node.func.id in FORBIDDEN_CALLS:
+                out.append(
+                    self.finding(
+                        "forbidden-call",
+                        sf,
+                        node.lineno,
+                        f"{label} calls {node.func.id}() — an object-mode/IO "
+                        "hazard inside an njit function; hoist it out of the "
+                        "kernel",
+                    )
+                )
+        elif isinstance(
+            node,
+            (
+                ast.Dict,
+                ast.DictComp,
+                ast.Set,
+                ast.SetComp,
+                ast.JoinedStr,
+                ast.Lambda,
+                ast.Yield,
+                ast.YieldFrom,
+                ast.Await,
+                ast.Global,
+                ast.Nonlocal,
+                ast.Try,
+                ast.With,
+                ast.Import,
+                ast.ImportFrom,
+            ),
+        ):
+            out.append(
+                self.finding(
+                    "object-mode",
+                    sf,
+                    node.lineno,
+                    f"{label} uses {type(node).__name__.lower()} — numba "
+                    "cannot lower this in nopython mode (or lowers it as a "
+                    "silent slow path); restructure the kernel",
+                )
+            )
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            if not (doc_start <= node.lineno <= doc_end):
+                out.append(
+                    self.finding(
+                        "object-mode",
+                        sf,
+                        node.lineno,
+                        f"{label} contains a string constant — string "
+                        "operations are object-mode hazards in njit code",
+                    )
+                )
+        elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            if node.id not in bound and node.id not in ALLOWED_FREE_NAMES:
+                out.append(
+                    self.finding(
+                        "closure",
+                        sf,
+                        node.lineno,
+                        f"{label} reads free variable {node.id!r} — kernels "
+                        "may only close over the numeric allowlist "
+                        "(np/numpy/math + arithmetic builtins); pass state "
+                        "in as an argument",
+                    )
+                )
+        return out

@@ -1,0 +1,396 @@
+"""The ``repro check`` runner: walk, check, suppress, report.
+
+:func:`run_check` loads every ``*.py`` under the given roots into a
+:class:`~repro.lint.base.Project`, runs the registered rule families
+(fingerprint coverage, block-protocol conformance, kernel purity, facade
+lint), applies ``# repro-lint: disable=RULE -- reason`` pragmas, and
+returns a :class:`Report` that renders as text or as the stable
+machine-readable JSON document (schema id :data:`JSON_SCHEMA`, snapshot
+tested) CI uploads as an artifact.
+
+When a checked root *is* the live :mod:`repro` package directory, a
+targeted importlib pass cross-checks what AST analysis cannot see:
+``dataclasses.fields(RunOptions)`` against the parsed field list, every
+module's ``__all__`` against the imported module's attributes, and the
+``BLOCK_REGISTRY`` entries' terminal declarations.  Fixture trees (and
+any other non-package root) get the pure-AST pass only.
+
+The whole pass is milliseconds — it runs before any test does.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Type
+
+from .base import ERROR, Finding, LintRule, Project, SourceFile
+from .facade import FacadeRule
+from .fingerprint import FingerprintCoverageRule
+from .protocol import BlockProtocolRule
+from .purity import KernelPurityRule
+
+__all__ = [
+    "JSON_SCHEMA",
+    "RULES",
+    "RULE_FAMILIES",
+    "Report",
+    "run_check",
+]
+
+#: schema identifier of the JSON report — bump only with a migration note
+JSON_SCHEMA = "repro-check/1"
+
+#: the registered rule families, in report order
+RULES: Tuple[Type[LintRule], ...] = (
+    BlockProtocolRule,
+    FacadeRule,
+    FingerprintCoverageRule,
+    KernelPurityRule,
+)
+
+RULE_FAMILIES: Tuple[str, ...] = tuple(rule.family for rule in RULES)
+
+#: rule-id prefixes that are not rule families but are valid in reports
+#: (and therefore in pragma disable= lists)
+_BUILTIN_FAMILIES = ("parse", "pragma")
+
+
+@dataclass
+class Report:
+    """The outcome of one ``repro check`` invocation."""
+
+    roots: List[str]
+    rules: List[str]
+    findings: List[Finding]
+    n_files: int
+    n_suppressed: int = 0
+
+    @property
+    def n_errors(self) -> int:
+        return sum(1 for f in self.findings if f.severity == ERROR)
+
+    @property
+    def n_warnings(self) -> int:
+        return sum(1 for f in self.findings if f.severity != ERROR)
+
+    @property
+    def ok(self) -> bool:
+        return self.n_errors == 0
+
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """The stable machine-readable form (schema ``repro-check/1``)."""
+        return {
+            "schema": JSON_SCHEMA,
+            "roots": list(self.roots),
+            "rules": list(self.rules),
+            "summary": {
+                "n_files": self.n_files,
+                "n_findings": len(self.findings),
+                "n_errors": self.n_errors,
+                "n_warnings": self.n_warnings,
+                "n_suppressed": self.n_suppressed,
+                "ok": self.ok,
+            },
+            "findings": [
+                {
+                    "rule_id": f.rule_id,
+                    "path": f.path,
+                    "line": f.line,
+                    "message": f.message,
+                    "severity": f.severity,
+                }
+                for f in self.findings
+            ],
+        }
+
+    def render_json(self) -> str:
+        return json.dumps(self.to_json_dict(), indent=2, sort_keys=True)
+
+    def render_text(self) -> str:
+        lines = [f.format() for f in self.findings]
+        if self.ok and not self.findings:
+            lines.append(
+                f"repro check: clean — {self.n_files} files, "
+                f"{len(self.rules)} rule families"
+                + (
+                    f", {self.n_suppressed} finding(s) suppressed by pragmas"
+                    if self.n_suppressed
+                    else ""
+                )
+            )
+        else:
+            lines.append(
+                f"repro check: {len(self.findings)} finding(s) "
+                f"({self.n_errors} error(s), {self.n_warnings} warning(s)) "
+                f"across {self.n_files} files"
+                + (
+                    f"; {self.n_suppressed} suppressed by pragmas"
+                    if self.n_suppressed
+                    else ""
+                )
+            )
+        return "\n".join(lines)
+
+
+def _known_pragma_token(token: str) -> bool:
+    families = RULE_FAMILIES + _BUILTIN_FAMILIES
+    if token in families:
+        return True
+    prefix = token.split(".", 1)[0]
+    return "." in token and prefix in families
+
+
+def _pragma_findings(sf: SourceFile) -> Iterable[Finding]:
+    for pragma in sf.pragmas:
+        if pragma.reason is None:
+            yield Finding(
+                rule_id="pragma.missing-reason",
+                path=sf.rel,
+                line=pragma.line,
+                message=(
+                    "repro-lint disable pragma without a reason — write "
+                    "`# repro-lint: disable=RULE -- why this is safe`; "
+                    "unjustified suppressions are indistinguishable from "
+                    "forgotten ones"
+                ),
+            )
+        for token in pragma.rules:
+            if not _known_pragma_token(token):
+                yield Finding(
+                    rule_id="pragma.unknown-rule",
+                    path=sf.rel,
+                    line=pragma.line,
+                    message=(
+                        f"pragma disables unknown rule {token!r}; known "
+                        f"families are {sorted(RULE_FAMILIES)}"
+                    ),
+                )
+
+
+def _parse_findings(sf: SourceFile) -> Iterable[Finding]:
+    if sf.syntax_error is not None:
+        yield Finding(
+            rule_id="parse.error",
+            path=sf.rel,
+            line=sf.syntax_error.lineno or 1,
+            message=f"file does not parse: {sf.syntax_error.msg}",
+        )
+
+
+def _apply_pragmas(
+    project: Project, findings: List[Finding]
+) -> Tuple[List[Finding], int]:
+    pragmas_by_path = {sf.rel: sf.pragmas for sf in project.files}
+    kept: List[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        if finding.rule_id.split(".", 1)[0] in _BUILTIN_FAMILIES:
+            kept.append(finding)  # meta findings cannot be pragma'd away
+            continue
+        if any(
+            p.suppresses(finding) for p in pragmas_by_path.get(finding.path, ())
+        ):
+            suppressed += 1
+        else:
+            kept.append(finding)
+    return kept, suppressed
+
+
+# --------------------------------------------------------------------- #
+# targeted importlib introspection (live repro package only)
+# --------------------------------------------------------------------- #
+def _is_live_package_root(root: Path) -> bool:
+    try:
+        import repro
+    except Exception:  # pragma: no cover - repro is always importable here
+        return False
+    return Path(repro.__file__).resolve().parent == root.resolve()
+
+
+def _introspection_findings(project: Project) -> Iterable[Finding]:
+    """Runtime cross-checks AST analysis cannot express.
+
+    Only ever called for the live ``repro`` package root, so importing is
+    both safe (it is already imported) and meaningful.
+    """
+    import importlib
+
+    # (1) the parsed RunOptions field list matches the dataclass at runtime
+    from ..api.options import FINGERPRINT_EXEMPT, RunOptions
+    from .fingerprint import _class_fields  # noqa: PLC2701 - same package
+
+    options_sf = project.file("api/options.py")
+    if options_sf is not None and options_sf.tree is not None:
+        import ast as _ast
+
+        parsed = set()
+        for node in options_sf.tree.body:
+            if isinstance(node, _ast.ClassDef) and node.name == "RunOptions":
+                parsed = set(_class_fields(node))
+        runtime = {f.name for f in dataclasses.fields(RunOptions)}
+        for name in sorted(runtime - parsed):
+            yield Finding(
+                rule_id="fingerprint.unfingerprinted",
+                path=options_sf.rel,
+                line=1,
+                message=(
+                    f"RunOptions field {name!r} exists at runtime but not "
+                    "in the parsed class body — dynamic fields dodge the "
+                    "fingerprint-coverage check; declare it statically"
+                ),
+            )
+        for name in sorted(set(FINGERPRINT_EXEMPT) - runtime):
+            yield Finding(
+                rule_id="fingerprint.stale-exemption",
+                path=options_sf.rel,
+                line=1,
+                message=(
+                    f"FINGERPRINT_EXEMPT lists {name!r}, which is not a "
+                    "runtime RunOptions field"
+                ),
+            )
+
+    # (2) every module's __all__ resolves on the imported module
+    for sf in project.files:
+        if sf.tree is None or sf.is_private_module():
+            continue
+        parts = sf.rel[: -len(".py")].split("/")
+        if parts[-1] == "__init__":
+            parts = parts[:-1]
+        module_name = ".".join(["repro", *parts]) if parts else "repro"
+        try:
+            module = importlib.import_module(module_name)
+        except Exception as exc:
+            yield Finding(
+                rule_id="facade.import-error",
+                path=sf.rel,
+                line=1,
+                message=f"module {module_name} does not import: {exc!r}",
+            )
+            continue
+        for name in getattr(module, "__all__", ()):
+            if not hasattr(module, name):
+                yield Finding(
+                    rule_id="facade.all-unresolved",
+                    path=sf.rel,
+                    line=1,
+                    message=(
+                        f"__all__ lists {name!r}, but the imported module "
+                        "has no such attribute"
+                    ),
+                )
+
+    # (3) registry entries declare an instantiable, wire-checkable contract
+    from ..core.registry import BLOCK_REGISTRY
+
+    library_sf = project.file("blocks/library.py")
+    if library_sf is not None:
+        for entry in BLOCK_REGISTRY.entries():
+            if not callable(entry.factory):
+                yield Finding(
+                    rule_id="block-protocol.registry-terminals",
+                    path=library_sf.rel,
+                    line=1,
+                    message=f"registry entry {entry.key!r} factory is not callable",
+                )
+            if entry.role != "analogue":
+                continue
+            if not entry.terminals:
+                yield Finding(
+                    rule_id="block-protocol.registry-terminals",
+                    path=library_sf.rel,
+                    line=1,
+                    message=(
+                        f"registry entry {entry.key!r} (analogue) declares "
+                        "no terminals at runtime"
+                    ),
+                )
+            for tname, kind in entry.terminals:
+                if kind not in ("voltage", "current"):
+                    yield Finding(
+                        rule_id="block-protocol.registry-terminals",
+                        path=library_sf.rel,
+                        line=1,
+                        message=(
+                            f"registry entry {entry.key!r} terminal "
+                            f"{tname!r} has invalid kind {kind!r}"
+                        ),
+                    )
+
+
+# --------------------------------------------------------------------- #
+# entry point
+# --------------------------------------------------------------------- #
+def run_check(
+    roots: Sequence[Path],
+    *,
+    rules: Optional[Sequence[str]] = None,
+    introspect: bool = True,
+) -> Report:
+    """Run the static contract checks over ``roots``.
+
+    ``rules`` optionally restricts the pass to the named rule families
+    (unknown names raise ``ValueError``).  ``introspect=False`` skips the
+    importlib cross-checks even on the live package root.
+    """
+    if rules is not None:
+        unknown = sorted(set(rules) - set(RULE_FAMILIES))
+        if unknown:
+            raise ValueError(
+                f"unknown rule families {unknown}; choose from "
+                f"{sorted(RULE_FAMILIES)}"
+            )
+    selected = [
+        rule_cls()
+        for rule_cls in RULES
+        if rules is None or rule_cls.family in rules
+    ]
+
+    findings: List[Finding] = []
+    n_files = 0
+    n_suppressed = 0
+    root_labels: List[str] = []
+    for root in roots:
+        root = Path(root)
+        project = Project.load(root)
+        root_labels.append(str(project.root))
+        n_files += len(project.files)
+        collected: List[Finding] = []
+        for sf in project.files:
+            collected.extend(_parse_findings(sf))
+            collected.extend(_pragma_findings(sf))
+        for rule in selected:
+            collected.extend(rule.run(project))
+        if introspect and _is_live_package_root(project.root):
+            introspected = list(_introspection_findings(project))
+            if rules is not None:
+                introspected = [
+                    f
+                    for f in introspected
+                    if f.rule_id.split(".", 1)[0] in rules
+                ]
+            collected.extend(introspected)
+        kept, suppressed = _apply_pragmas(project, collected)
+        findings.extend(kept)
+        n_suppressed += suppressed
+
+    # deterministic order + dedup (static and runtime checks can agree)
+    unique: Dict[Tuple[str, str, int, str], Finding] = {}
+    for finding in findings:
+        key = (finding.path, finding.rule_id, finding.line, finding.message)
+        unique.setdefault(key, finding)
+    ordered = sorted(unique.values(), key=Finding.sort_key)
+
+    return Report(
+        roots=root_labels,
+        rules=[rule.family for rule in selected],
+        findings=ordered,
+        n_files=n_files,
+        n_suppressed=n_suppressed,
+    )

@@ -17,7 +17,6 @@ from repro.analysis.power import (
     average_power,
     energy,
     power_before_after,
-    rms_power,
     rms_value,
     windowed_rms_power,
 )

@@ -9,7 +9,7 @@ from repro.analysis.sweep import (
     average_power_metric,
     sweep_excitation_frequency,
 )
-from repro.core.elimination import AssemblyStructure, SystemAssembler
+from repro.core.elimination import AssemblyStructure
 from repro.core.errors import ConfigurationError
 from repro.harvester.scenarios import charging_scenario, prepare_assembly, run_proposed
 from repro.io.csvio import read_checkpoint

@@ -1,6 +1,5 @@
 """Tests for the vibration source, magnetic tuning law and linear actuator."""
 
-import math
 
 import pytest
 from hypothesis import given, settings

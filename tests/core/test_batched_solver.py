@@ -11,7 +11,6 @@ from repro.core.errors import (
     SingularSystemError,
     StabilityError,
 )
-from repro.core.solver import SolverSettings
 from repro.harvester.scenarios import (
     charging_scenario,
     prepare_assembly,

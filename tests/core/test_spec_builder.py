@@ -11,11 +11,8 @@ the same blocks.
 import numpy as np
 import pytest
 
-from repro.blocks.microgenerator import (
-    ElectromagneticMicrogenerator,
-    MicrogeneratorParameters,
-)
-from repro.blocks.supercapacitor import Supercapacitor, SupercapacitorParameters
+from repro.blocks.microgenerator import ElectromagneticMicrogenerator
+from repro.blocks.supercapacitor import Supercapacitor
 from repro.blocks.vibration import VibrationSource
 from repro.blocks.voltage_multiplier import DicksonMultiplier
 from repro.core import (

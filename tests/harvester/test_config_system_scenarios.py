@@ -2,13 +2,15 @@
 
 import dataclasses
 
-import numpy as np
 import pytest
 
-from repro.blocks.vibration import FrequencyStep
 from repro.core.errors import ConfigurationError
-from repro.harvester.config import ExcitationConfig, HarvesterConfig, TuningMechanismConfig, paper_harvester
-from repro.harvester.scenarios import Scenario, charging_scenario, scenario_1, scenario_2
+from repro.harvester.config import (
+    ExcitationConfig,
+    TuningMechanismConfig,
+    paper_harvester,
+)
+from repro.harvester.scenarios import charging_scenario, scenario_1, scenario_2
 from repro.harvester.system import TunableEnergyHarvester, default_solver_settings
 
 

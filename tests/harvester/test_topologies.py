@@ -20,7 +20,6 @@ from repro.harvester.scenarios import (
 )
 from repro.harvester.system import TunableEnergyHarvester, paper_spec
 from repro.harvester.topologies import (
-    SpecScenario,
     electrostatic_scenario,
     electrostatic_spec,
     generator_variants,

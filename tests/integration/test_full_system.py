@@ -23,7 +23,7 @@ from repro.harvester.scenarios import (
     run_reference,
     scenario_1,
 )
-from repro.harvester.system import TunableEnergyHarvester, default_solver_settings
+from repro.harvester.system import TunableEnergyHarvester
 
 
 @pytest.fixture(scope="module")

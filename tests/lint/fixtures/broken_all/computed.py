@@ -1,0 +1,3 @@
+"""Seeded __all__ violation: computed export list (tests/lint fixture)."""
+
+__all__ = [name for name in ("a", "b")]

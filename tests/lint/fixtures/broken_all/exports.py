@@ -1,0 +1,7 @@
+"""Seeded __all__ violation: unresolved export (tests/lint fixture)."""
+
+__all__ = ["real", "phantom"]
+
+
+def real():
+    return 1

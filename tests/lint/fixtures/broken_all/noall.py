@@ -1,0 +1,3 @@
+"""Seeded __all__ violation: public module without __all__ (tests/lint fixture)."""
+
+VALUE = 1

@@ -1,0 +1,11 @@
+"""Seeded facade violations (tests/lint fixture, never imported)."""
+
+from repro.analysis.engine import SweepEngine
+from repro.harvester.scenarios import run_proposed
+
+__all__ = ["build"]
+
+
+def build(spec):
+    engine = SweepEngine(spec)
+    return run_proposed(engine)

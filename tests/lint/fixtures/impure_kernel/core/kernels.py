@@ -1,0 +1,23 @@
+"""Seeded kernel-purity violations (tests/lint fixture, never imported)."""
+
+import numpy as np
+from numba import njit
+
+SCALE = [2.0]
+
+
+@njit(cache=True)
+def bad_decorated(n):
+    total = 0.0
+    for i in range(n):
+        total += np.random.random()
+    print(total)
+    table = {1: 2}
+    return total + table[1]
+
+
+def _impl(x):
+    return x * SCALE[0]
+
+
+fast_impl = njit(cache=True)(_impl)

@@ -1,0 +1,6 @@
+"""Pragma violation fixture (tests/lint fixture, never imported)."""
+
+# repro-lint: disable=facade
+# repro-lint: disable=made-up.rule -- the rule id does not exist
+
+__all__ = []

@@ -1,0 +1,7 @@
+"""Pragma suppression fixture (tests/lint fixture, never imported)."""
+
+__all__ = ["make"]
+
+
+def make(spec):
+    return SweepEngine(spec)  # repro-lint: disable=facade.engine-bypass -- fixture exercises inline suppression

@@ -1,0 +1,47 @@
+"""Seeded block-protocol violations (tests/lint fixture, never imported)."""
+
+from repro.core.block import (
+    AnalogueBlock,
+    BatchedLinearisation,
+    PreparedBlockLineariser,
+)
+from repro.core.registry import register_block
+
+
+class WriteOnlySpec:
+    def to_dict(self):
+        return {}
+
+
+class BadBlock(AnalogueBlock):
+    def evaluate_batch(self, lanes, t, x):
+        return x
+
+    def batched_lineariser(self, lanes):
+        def lineariser(t, x, y):
+            return BatchedLinearisation(
+                jxx=t, jxy=t, jyx=t, jyy=t, ey=t
+            )
+
+        return PreparedBlockLineariser(
+            lineariser=lineariser,
+            constant=(
+                "jzz",
+                "ex",
+            ),
+        )
+
+
+register_block(
+    "fixture_bad_kind",
+    role="analogue",
+    terminals=(
+        ("plus", "voltage"),
+        ("minus", "vapor"),
+    ),
+)
+
+register_block(
+    "fixture_no_terminals",
+    role="analogue",
+)

@@ -1,0 +1,4 @@
+"""Parse-error fixture (tests/lint fixture, never imported)."""
+
+def broken(:
+    pass

@@ -1,0 +1,19 @@
+"""Seeded fingerprint-coverage violations (tests/lint fixture, never imported)."""
+
+FINGERPRINT_EXEMPT = {
+    "n_workers": "scheduling only; results are parallelism-independent",
+    "ghost": "entry for a field that does not exist on RunOptions",
+    "backend": "contradiction: fingerprint() below reads this field",
+    "cache": "short",
+}
+
+
+class RunOptions:
+    integrator: object = None
+    backend: str = "process"
+    n_workers: int = 1
+    cache: str = "off"
+    lane_width: int = 0
+
+    def fingerprint(self):
+        return {"integrator": self.integrator, "backend": self.backend}
