@@ -1,0 +1,244 @@
+"""Distributed queue sweep: worker-loss fault tolerance, identical scores.
+
+PR 10's acceptance demo.  A 64-candidate sweep dispatched through
+``RunOptions(backend="queue")`` to two external ``repro worker``
+processes over a ``repro kv-serve`` store must
+
+* produce the **exact** winner and per-candidate scores of
+  ``backend="process"`` (workers run the same scalar candidate path, and
+  queue/process share one execution fingerprint), and
+* **complete after one worker is SIGKILLed mid-sweep** — the dead
+  worker's leased candidate stops heartbeating, its lease expires, and
+  the surviving worker re-runs it.
+
+Writes ``BENCH_dist.json`` (machine-readable, uploaded by the CI
+``dist-smoke`` job) and ``benchmarks/results/dist_queue.txt``.
+
+Run via pytest or directly::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_dist_queue.py -q
+    PYTHONPATH=src python benchmarks/bench_dist_queue.py [--quick]
+"""
+
+import argparse
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import repro
+from repro import RunOptions, Study, charging_scenario
+from repro.cache.store import open_store
+from repro.dist.queue import open_queue
+from repro.io.report import format_table
+
+JSON_PATH = Path("BENCH_dist.json")
+
+#: 8 x 8 = 64 candidates around the paper's 70 Hz operating point
+GRID = {
+    "excitation_frequency_hz": [64.0 + i for i in range(8)],
+    "excitation_amplitude_ms2": [0.30 + 0.05 * i for i in range(8)],
+}
+
+#: results in the store before the SIGKILL fires (far from done at 64)
+KILL_AFTER_RESULTS = 4
+
+#: worker lease length: how long the dead worker's candidate stays stuck
+LEASE_S = 2.0
+
+_ANNOUNCE = re.compile(r"kv://[0-9A-Za-z_.\-]+:\d+")
+
+
+def _cli(args, **popen_kwargs):
+    """Spawn one `repro <args...>` CLI subprocess (module path, no install)."""
+    env = dict(os.environ)
+    package_root = str(Path(repro.__file__).resolve().parents[1])
+    env["PYTHONPATH"] = os.pathsep.join(
+        part for part in (package_root, env.get("PYTHONPATH")) if part
+    )
+    command = [
+        sys.executable,
+        "-c",
+        "import sys; from repro.cli import main; sys.exit(main(sys.argv[1:]))",
+        *args,
+    ]
+    return subprocess.Popen(command, env=env, **popen_kwargs)
+
+
+def _start_kv_server(timeout_s: float = 30.0):
+    server = _cli(
+        ["kv-serve", "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        line = server.stdout.readline()
+        if not line and server.poll() is not None:
+            break
+        match = _ANNOUNCE.search(line or "")
+        if match:
+            return server, match.group(0)
+    server.kill()
+    raise RuntimeError("kv-serve never announced its address")
+
+
+def _start_worker(url: str, worker_id: str):
+    return _cli(
+        [
+            "worker",
+            url,
+            "--worker-id",
+            worker_id,
+            "--lease-s",
+            f"{LEASE_S:g}",
+            "--poll-s",
+            "0.05",
+        ],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def _study(duration_s: float, options: RunOptions):
+    return (
+        Study.scenario(charging_scenario(duration_s=duration_s))
+        .options(options)
+        .sweep(GRID)
+    )
+
+
+def run_benchmark(*, duration_s: float = 0.05):
+    os.environ.setdefault("REPRO_QUEUE_TIMEOUT_S", "600")
+    n_candidates = len(GRID["excitation_frequency_hz"]) * len(
+        GRID["excitation_amplitude_ms2"]
+    )
+
+    t0 = time.perf_counter()
+    reference = _study(duration_s, RunOptions(backend="process", n_workers=1)).run()
+    t_process = time.perf_counter() - t0
+
+    server = workers = None
+    kill_result = {}
+    try:
+        server, url = _start_kv_server()
+        workers = [_start_worker(url, "w1"), _start_worker(url, "w2")]
+        store = open_store(store_url=url)
+
+        def kill_one_worker_mid_sweep():
+            deadline = time.monotonic() + 300.0
+            while time.monotonic() < deadline:
+                if store.stats()["n_points"] >= KILL_AFTER_RESULTS:
+                    workers[0].send_signal(signal.SIGKILL)
+                    workers[0].wait(timeout=30.0)
+                    kill_result["results_before_kill"] = store.stats()["n_points"]
+                    return
+                time.sleep(0.05)
+
+        killer = threading.Thread(target=kill_one_worker_mid_sweep, daemon=True)
+        killer.start()
+
+        t0 = time.perf_counter()
+        queued = _study(
+            duration_s, RunOptions.queue(url, lease_timeout_s=LEASE_S)
+        ).run()
+        t_queue = time.perf_counter() - t0
+
+        killer.join(timeout=30.0)
+        queue_stats = open_queue(url).stats()
+    finally:
+        for proc in workers or []:
+            if proc.poll() is None:
+                proc.kill()
+        if server is not None and server.poll() is None:
+            server.kill()
+
+    assert "results_before_kill" in kill_result, (
+        "the SIGKILL never fired: the sweep finished before "
+        f"{KILL_AFTER_RESULTS} results appeared — slow the candidates down"
+    )
+    assert workers[0].returncode == -signal.SIGKILL
+
+    def table(result):
+        return sorted(
+            (
+                point.parameters["excitation_frequency_hz"],
+                point.parameters["excitation_amplitude_ms2"],
+                point.score,
+            )
+            for point in result.points
+        )
+
+    assert len(queued.points) == n_candidates
+    assert table(queued) == table(reference), (
+        "queue-backend scores diverged from the process backend"
+    )
+    assert queued.best().parameters == reference.best().parameters
+
+    data = {
+        "benchmark": "dist_queue",
+        "n_candidates": n_candidates,
+        "duration_s": duration_s,
+        "process_wall_s": t_process,
+        "queue_wall_s": t_queue,
+        "n_workers": 2,
+        "worker_sigkilled": True,
+        "results_before_kill": kill_result["results_before_kill"],
+        "lease_timeout_s": LEASE_S,
+        "queue_tasks_done": queue_stats.get("done"),
+        "queue_tasks_failed": queue_stats.get("failed"),
+        "scores_identical_to_process": True,
+        "winner": dict(queued.best().parameters),
+    }
+    JSON_PATH.write_text(json.dumps(data, indent=2) + "\n")
+
+    report = format_table(
+        ["run", "wall [s]", "candidates", "notes"],
+        [
+            ["process (reference)", f"{t_process:.3f}", str(n_candidates), "-"],
+            [
+                "queue, 2 workers",
+                f"{t_queue:.3f}",
+                str(n_candidates),
+                f"w1 SIGKILLed after {kill_result['results_before_kill']} results",
+            ],
+        ],
+        title=(
+            f"distributed queue sweep — {n_candidates} candidates x "
+            f"{duration_s:g} s over kv-serve; one worker killed mid-sweep, "
+            "scores identical to the process backend"
+        ),
+    )
+    return report, data
+
+
+def test_dist_queue_fault_tolerance(report_writer):
+    report, _data = run_benchmark()
+    report_writer("dist_queue", report)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=(
+            "shorter per-candidate simulations (CI smoke); the grid stays "
+            "at 64 candidates and the kill/reclaim/equivalence assertions "
+            "are unchanged"
+        ),
+    )
+    args = parser.parse_args()
+    report, _data = run_benchmark(duration_s=0.02 if args.quick else 0.05)
+    print(report)
+    print(f"\nwritten: {JSON_PATH}")
+
+
+if __name__ == "__main__":
+    main()

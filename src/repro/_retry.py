@@ -1,0 +1,135 @@
+"""Jittered exponential backoff for transient-failure retry loops.
+
+The distributed queue path (:mod:`repro.dist`) talks to a shared store
+over sockets and filesystems, where transient failures — a connection
+reset while the KV server restarts, an NFS hiccup — are expected and
+must be retried rather than aborting a half-finished sweep.  This module
+is the one reusable retry primitive: a :class:`RetryPolicy` describing a
+jittered exponential schedule with an overall deadline, a pure
+:func:`backoff_delays` generator over it, and :func:`retry_call` driving
+a callable through the schedule.
+
+Everything time-related is injectable (``sleep``, ``clock``, ``rng``) so
+tests exercise the schedule and the give-up behaviour deterministically,
+without real sleeping.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional, Tuple, Type
+
+from .core.errors import ConfigurationError
+
+__all__ = ["RetryPolicy", "backoff_delays", "retry_call"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """A jittered exponential backoff schedule.
+
+    Attributes
+    ----------
+    base_s:
+        First delay (before jitter).
+    factor:
+        Multiplier between consecutive delays (``>= 1``).
+    max_s:
+        Cap on any single delay (before jitter).
+    deadline_s:
+        Give up once the *total* elapsed time (attempts + sleeps) would
+        exceed this.  ``None`` never gives up on elapsed time.
+    max_attempts:
+        Give up after this many failed attempts.  ``None`` never gives
+        up on attempt count.  At least one of ``deadline_s`` and
+        ``max_attempts`` must bound the loop.
+    jitter:
+        Fraction of each delay randomised away: a delay ``d`` sleeps
+        ``uniform(d * (1 - jitter), d)``.  ``0`` disables jitter
+        (deterministic schedule); must stay in ``[0, 1)``.
+    """
+
+    base_s: float = 0.1
+    factor: float = 2.0
+    max_s: float = 5.0
+    deadline_s: Optional[float] = 30.0
+    max_attempts: Optional[int] = None
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.base_s <= 0:
+            raise ConfigurationError("retry base_s must be positive")
+        if self.factor < 1.0:
+            raise ConfigurationError("retry factor must be at least 1")
+        if self.max_s < self.base_s:
+            raise ConfigurationError("retry max_s must be at least base_s")
+        if not (0.0 <= self.jitter < 1.0):
+            raise ConfigurationError("retry jitter must be in [0, 1)")
+        if self.deadline_s is None and self.max_attempts is None:
+            raise ConfigurationError(
+                "unbounded retry policy: set deadline_s or max_attempts "
+                "(an infinite retry loop would hang a worker forever)"
+            )
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ConfigurationError("retry deadline_s must be positive")
+        if self.max_attempts is not None and self.max_attempts < 1:
+            raise ConfigurationError("retry max_attempts must be at least 1")
+
+
+def backoff_delays(
+    policy: RetryPolicy, rng: Optional[random.Random] = None
+) -> Iterator[float]:
+    """Yield the policy's jittered delay sequence (unbounded; callers
+    apply the deadline/attempt limits)."""
+    if rng is None:
+        rng = random.Random()
+    delay = policy.base_s
+    while True:
+        jittered = delay
+        if policy.jitter:
+            jittered = delay * (1.0 - policy.jitter * rng.random())
+        yield jittered
+        delay = min(delay * policy.factor, policy.max_s)
+
+
+def retry_call(
+    fn: Callable[[], object],
+    *,
+    retry_on: Tuple[Type[BaseException], ...] = (OSError,),
+    policy: Optional[RetryPolicy] = None,
+    sleep: Callable[[float], None] = time.sleep,
+    clock: Callable[[], float] = time.monotonic,
+    rng: Optional[random.Random] = None,
+    on_retry: Optional[Callable[[int, float, BaseException], None]] = None,
+) -> object:
+    """Call ``fn`` until it succeeds or the policy gives up.
+
+    Exceptions matching ``retry_on`` trigger a jittered backoff sleep and
+    another attempt; anything else propagates immediately.  When the
+    policy's ``max_attempts`` is exhausted, or sleeping again would blow
+    the ``deadline_s`` budget, the *last* exception is re-raised — the
+    caller sees the real failure, not a wrapper.  ``on_retry(attempt,
+    delay_s, exc)`` observes each scheduled retry (logging hooks).
+    """
+    if policy is None:
+        policy = RetryPolicy()
+    start = clock()
+    attempts = 0
+    for delay in backoff_delays(policy, rng):
+        try:
+            return fn()
+        except retry_on as exc:
+            attempts += 1
+            if policy.max_attempts is not None and attempts >= policy.max_attempts:
+                raise
+            if (
+                policy.deadline_s is not None
+                and (clock() - start) + delay > policy.deadline_s
+            ):
+                raise
+            if on_retry is not None:
+                on_retry(attempts, delay, exc)
+            sleep(delay)
+    raise AssertionError("unreachable")  # pragma: no cover

@@ -89,7 +89,7 @@ from ..io.csvio import (
 __all__ = ["SweepEngine", "EngineRunInfo"]
 
 #: execution backends of the sweep engine
-_BACKENDS = ("process", "batched")
+_BACKENDS = ("process", "batched", "queue")
 
 #: progress callback: ``progress(done, total, best_point_or_None)``
 ProgressFn = Callable[[int, int, Optional["SweepPoint"]], None]
@@ -153,6 +153,9 @@ class _Task:
     cache_key: Optional[str] = None
     cache_dir: Optional[str] = None
     cache_salt: Optional[str] = None
+    #: shared-store URL when the result store is not a local directory
+    #: (memory:// / kv://); mutually exclusive with ``cache_dir``
+    store_url: Optional[str] = None
     #: compiled lane-core mode for the batched march ("off" interprets)
     compiled: str = "off"
     #: batched-refresh mode for the batched march
@@ -252,9 +255,13 @@ def _write_cache_entries(
         if task.cache_key is None:
             continue
         if store is None:
-            from ..cache import ResultStore
+            from ..cache import open_store
 
-            store = ResultStore(task.cache_dir, salt=task.cache_salt)
+            store = open_store(
+                cache_dir=task.cache_dir,
+                store_url=task.store_url,
+                salt=task.cache_salt,
+            )
         try:
             store.store_point(
                 task.cache_key,
@@ -270,7 +277,7 @@ def _write_cache_entries(
             # degrade to uncached (mirroring how the read path degrades
             # corruption to a miss) and stop trying for this block
             warnings.warn(
-                f"result cache at {store.root} is unwritable ({exc}); "
+                f"result cache at {store.location} is unwritable ({exc}); "
                 "continuing without caching",
                 stacklevel=2,
             )
@@ -483,6 +490,21 @@ class SweepEngine:
         settings when bit-exact warm/cold agreement matters.
     cache_dir:
         Store root (``None``: ``REPRO_CACHE_DIR`` or ``~/.cache/repro``).
+    store_url:
+        Shared result-store URL (:mod:`repro.dist`) — the alternative to
+        ``cache_dir`` for memory:// and kv:// stores, and required by
+        ``backend="queue"``.
+    lease_timeout_s:
+        Queue-backend lease duration: how long a worker may go without
+        heartbeating before its candidate is reclaimed (default 30 s).
+
+    The ``backend="queue"`` mode dispatches each round's pending
+    candidates to a distributed work queue living next to the shared
+    store (:class:`repro.dist.executor.QueueSweepExecutor`): external
+    ``repro worker`` processes lease tasks, evaluate them on the *same*
+    scalar candidate path as ``backend="process"`` and write results
+    through the store, so scores are identical and at-least-once
+    execution after worker crashes is harmless.
     """
 
     def __init__(
@@ -499,6 +521,8 @@ class SweepEngine:
         refresh: str = "auto",
         cache: str = "off",
         cache_dir: Optional[str] = None,
+        store_url: Optional[str] = None,
+        lease_timeout_s: Optional[float] = None,
         _facade: bool = False,
     ) -> None:
         if not _facade:
@@ -566,6 +590,32 @@ class SweepEngine:
             raise ConfigurationError(
                 f"unknown cache mode {cache!r}; choose from {CACHE_MODES}"
             )
+        if store_url is not None and cache_dir is not None:
+            raise ConfigurationError(
+                f"incoherent options: store_url={store_url!r} with "
+                f"cache_dir={cache_dir!r} — both name the result store; "
+                "pick one"
+            )
+        if backend == "queue":
+            if store_url is None:
+                raise ConfigurationError(
+                    "incoherent options: backend='queue' without store_url — "
+                    "the parent and its `repro worker` fleet communicate "
+                    "only through a shared store; pass store_url (a path, "
+                    "file://, memory:// or kv://host:port)"
+                )
+            if cache != "readwrite":
+                raise ConfigurationError(
+                    f"incoherent options: backend='queue' with cache={cache!r} "
+                    "— queue results travel through store writes, so the "
+                    "sweep needs cache='readwrite'"
+                )
+        elif lease_timeout_s is not None:
+            raise ConfigurationError(
+                f"incoherent options: lease_timeout_s={lease_timeout_s} with "
+                f"backend={backend!r} — leases pace the distributed work "
+                "queue; drop it or select backend='queue'"
+            )
         self.n_workers = int(n_workers)
         self.checkpoint_path = checkpoint_path
         self.progress = progress
@@ -577,6 +627,8 @@ class SweepEngine:
         self.refresh = refresh
         self.cache = cache
         self.cache_dir = cache_dir
+        self.store_url = store_url
+        self.lease_timeout_s = lease_timeout_s
 
     # ------------------------------------------------------------------ #
     # public API
@@ -851,24 +903,6 @@ class SweepEngine:
 
         pending = [task for task in tasks if task.index not in outcomes]
 
-        # one work unit is a lane block: several same-topology candidates
-        # marched in lock-step by the batched solver, or a single candidate
-        # evaluated on the scalar path (always the case for the process
-        # backend and for candidates with digital events)
-        if self.backend == "batched":
-            blocks = self._plan_lane_blocks(pending)
-        else:
-            blocks = [[task] for task in pending]
-
-        parallel = self.n_workers > 1 and len(blocks) > 1
-        if parallel and not self._parallelisable(pending):
-            warnings.warn(
-                "sweep uses a non-picklable metric/scenario; "
-                "falling back to serial evaluation",
-                stacklevel=2,
-            )
-            parallel = False
-
         task_by_index = {task.index: task for task in tasks}
 
         def emit_progress() -> None:
@@ -900,6 +934,33 @@ class SweepEngine:
         if n_preloaded:
             emit_progress()
 
+        if self.backend == "queue":
+            # distributed dispatch: every pending candidate becomes a
+            # queue task for the external worker fleet; results come back
+            # through the shared store, in completion order, exactly like
+            # parallel process results
+            if pending:
+                self._run_queue(pending, record)
+            return pending, bool(pending), [[task] for task in pending]
+
+        # one work unit is a lane block: several same-topology candidates
+        # marched in lock-step by the batched solver, or a single candidate
+        # evaluated on the scalar path (always the case for the process
+        # backend and for candidates with digital events)
+        if self.backend == "batched":
+            blocks = self._plan_lane_blocks(pending)
+        else:
+            blocks = [[task] for task in pending]
+
+        parallel = self.n_workers > 1 and len(blocks) > 1
+        if parallel and not self._parallelisable(pending):
+            warnings.warn(
+                "sweep uses a non-picklable metric/scenario; "
+                "falling back to serial evaluation",
+                stacklevel=2,
+            )
+            parallel = False
+
         if parallel:
             self._run_parallel(blocks, record)
         else:
@@ -907,6 +968,39 @@ class SweepEngine:
                 for outcome in _evaluate_lane_block(block):
                     record(outcome)
         return pending, parallel, blocks
+
+    def _run_queue(
+        self, pending: Sequence[_Task], record: Callable[[_Outcome], None]
+    ) -> None:
+        """Dispatch one round's pending candidates to the work queue.
+
+        Queue validation guarantees ``cache="readwrite"``, so every
+        pending task arrived here armed with its content key — the task
+        id the workers lease and the store key the parent polls.
+        """
+        from ..cache import open_store
+        from ..dist.executor import QueueSweepExecutor
+        from ..dist.queue import open_queue
+
+        store = open_store(store_url=self.store_url)
+        queue = open_queue(self.store_url)
+        lease_s = (
+            float(self.lease_timeout_s)
+            if self.lease_timeout_s is not None
+            else 30.0
+        )
+        executor = QueueSweepExecutor(store, queue, lease_s=lease_s)
+        executor.run(
+            pending,
+            lambda data: record(
+                _Outcome(
+                    index=int(data["index"]),
+                    score=float(data["score"]),
+                    cpu_time_s=float(data["cpu_time_s"]),
+                    exact_rerun=bool(data["exact_rerun"]),
+                )
+            ),
+        )
 
     def _plan_lane_blocks(self, pending: Sequence[_Task]) -> List[List[_Task]]:
         """Partition pending candidates into lane blocks for the batched backend.
@@ -1032,7 +1126,7 @@ class SweepEngine:
         if self.cache == "off":
             return 0, tasks
         from ..api.experiment import metric_key_for, scenario_to_dict
-        from ..cache import ResultStore
+        from ..cache import open_store
         from ..core.errors import CacheCorruptionError
 
         # key on the metric's *registry identity*, never its free-form
@@ -1048,7 +1142,7 @@ class SweepEngine:
                 "stock metric (harvested_energy / average_power) or drop "
                 "the cache"
             )
-        store = ResultStore(self.cache_dir)
+        store = open_store(cache_dir=self.cache_dir, store_url=self.store_url)
         fingerprint = self._execution_fingerprint(integrator, settings, seed=seed)
         n_cache_hits = 0
         armed: List[_Task] = []
@@ -1084,12 +1178,20 @@ class SweepEngine:
                     armed.append(task)
                     continue
             if self.cache == "readwrite":
-                task = replace(
-                    task,
-                    cache_key=key,
-                    cache_dir=str(store.root),
-                    cache_salt=store.salt,
-                )
+                if self.store_url is not None:
+                    task = replace(
+                        task,
+                        cache_key=key,
+                        store_url=self.store_url,
+                        cache_salt=store.salt,
+                    )
+                else:
+                    task = replace(
+                        task,
+                        cache_key=key,
+                        cache_dir=str(store.root),
+                        cache_salt=store.salt,
+                    )
             armed.append(task)
         return n_cache_hits, armed
 

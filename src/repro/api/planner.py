@@ -261,10 +261,10 @@ def _single_run_cache(
     dispatch — so the fluent, declarative and CLI forms of one experiment
     all address the same entry.
     """
-    from ..cache import ResultStore
+    from ..cache import open_store
     from .experiment import scenario_to_dict
 
-    store = ResultStore(options.cache_dir)
+    store = open_store(cache_dir=options.cache_dir, store_url=options.store_url)
     payload = {
         "kind": "single",
         "scenario": scenario_to_dict(scenario),
@@ -349,7 +349,7 @@ def _execute_single(
             except OSError as exc:
                 # never discard a finished simulation over a cache write
                 warnings.warn(
-                    f"result cache at {store.root} is unwritable ({exc}); "
+                    f"result cache at {store.location} is unwritable ({exc}); "
                     "continuing without caching",
                     stacklevel=2,
                 )
@@ -404,6 +404,8 @@ def execute_sweep(sweep, options: RunOptions) -> StudyResult:
         refresh=options.refresh,
         cache=options.cache,
         cache_dir=options.cache_dir,
+        store_url=options.store_url,
+        lease_timeout_s=options.lease_timeout_s,
         _facade=True,
     )
     sweep_result = engine.run(
@@ -457,6 +459,8 @@ def execute_explore(sweep, options: RunOptions) -> ExplorationResult:
         refresh=options.refresh,
         cache=options.cache,
         cache_dir=options.cache_dir,
+        store_url=options.store_url,
+        lease_timeout_s=options.lease_timeout_s,
         _facade=True,
     )
     run = engine.run_explore(

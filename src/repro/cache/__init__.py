@@ -12,6 +12,7 @@ from .store import (
     ResultStore,
     code_version_salt,
     default_cache_dir,
+    open_store,
 )
 
 __all__ = [
@@ -20,4 +21,5 @@ __all__ = [
     "ResultStore",
     "code_version_salt",
     "default_cache_dir",
+    "open_store",
 ]

@@ -1,4 +1,4 @@
-"""Content-addressed on-disk result store.
+"""Content-addressed result store over pluggable byte-blob backends.
 
 Every entry is keyed by ``sha256(canonical-JSON payload + code-version
 salt)``: the payload is the resolved experiment content
@@ -8,27 +8,34 @@ entries to the code version that produced them — a version bump changes
 every key, so stale results are simply never served (``gc`` reclaims
 them by reading the salt recorded inside each entry).
 
-Layout (one directory per entry, sharded by key prefix)::
+Where the bytes live is a :class:`~repro.dist.backends.StoreBackend`:
+the default :class:`~repro.dist.backends.LocalDirBackend` keeps the
+historical sharded-directory layout byte for byte::
 
     <root>/ab/abcdef.../entry.json    # metadata + stats (+ scores)
     <root>/ab/abcdef.../traces.npz    # optional waveform arrays
 
-Writes are atomic at entry granularity: the payload files land first and
-``entry.json`` is renamed into place last, so a torn write is invisible
-(no ``entry.json`` means no entry).  Loads validate with the same rigor
-as :func:`repro.io.csvio.validate_checkpoint`: an entry that exists but
+while :class:`~repro.dist.backends.MemoryBackend` and
+:class:`~repro.dist.backends.SocketKVBackend` (``repro kv-serve``) let
+tests and worker fleets share the same contract without a local disk —
+:func:`open_store` resolves ``file://``/``memory://``/``kv://`` URLs.
+
+Writes are atomic at entry granularity: the payload blobs land first and
+``entry.json`` becomes visible last, so a torn write is invisible (no
+``entry.json`` means no entry).  Loads validate with the same rigor as
+:func:`repro.io.csvio.validate_checkpoint`: an entry that exists but
 cannot be trusted — unparseable JSON, key/schema/salt mismatch, missing
 trace payload — raises
-:class:`~repro.core.errors.CacheCorruptionError` naming the file and the
-problem instead of silently serving wrong results.
+:class:`~repro.core.errors.CacheCorruptionError` naming the entry and
+the problem instead of silently serving wrong results.
 """
 
 from __future__ import annotations
 
 import hashlib
+import io
 import json
 import os
-import shutil
 import time
 from dataclasses import asdict, is_dataclass
 from pathlib import Path
@@ -44,6 +51,7 @@ __all__ = [
     "CACHE_ENV_VAR",
     "code_version_salt",
     "default_cache_dir",
+    "open_store",
     "ResultStore",
 ]
 
@@ -80,6 +88,32 @@ def default_cache_dir() -> Path:
     return Path.home() / ".cache" / "repro"
 
 
+def open_store(
+    *,
+    cache_dir: Optional[PathLike] = None,
+    store_url: Optional[str] = None,
+    salt: Optional[str] = None,
+) -> "ResultStore":
+    """A :class:`ResultStore` at a directory or a store URL.
+
+    ``cache_dir`` keeps the historical local-directory behaviour;
+    ``store_url`` resolves ``file://``/``memory://``/``kv://`` through
+    :func:`repro.dist.backends.resolve_backend`.  Setting both is
+    rejected — one experiment, one store location.
+    """
+    if store_url is not None:
+        if cache_dir is not None:
+            raise ConfigurationError(
+                f"incoherent store location: both cache_dir={cache_dir!r} "
+                f"and store_url={store_url!r} — pick one (a file:// URL "
+                "names a directory store)"
+            )
+        from ..dist.backends import resolve_backend
+
+        return ResultStore(backend=resolve_backend(store_url), salt=salt)
+    return ResultStore(cache_dir, salt=salt)
+
+
 def _jsonable(value: object) -> object:
     """Best-effort JSON-safe form of run metadata.
 
@@ -105,17 +139,55 @@ class ResultStore:
     ----------
     root:
         Store directory (created lazily on first write).  ``None`` uses
-        :func:`default_cache_dir`.
+        :func:`default_cache_dir`.  Mutually exclusive with ``backend``.
     salt:
         Code-version salt override (tests only; defaults to
         :func:`code_version_salt`).
+    backend:
+        A pre-built :class:`~repro.dist.backends.StoreBackend` hosting
+        the bytes (see :func:`open_store` for URL resolution).  The
+        store's key/salt/validate-on-load semantics are identical on
+        every backend.
     """
 
     def __init__(
-        self, root: Optional[PathLike] = None, *, salt: Optional[str] = None
+        self,
+        root: Optional[PathLike] = None,
+        *,
+        salt: Optional[str] = None,
+        backend=None,
     ) -> None:
-        self.root = Path(root) if root is not None else default_cache_dir()
+        if backend is None:
+            from ..dist.backends import LocalDirBackend
+
+            backend = LocalDirBackend(
+                Path(root) if root is not None else default_cache_dir()
+            )
+        elif root is not None:
+            raise ConfigurationError(
+                f"incoherent store location: both root={root!r} and an "
+                "explicit backend — the backend already knows where it "
+                "stores bytes"
+            )
+        self.backend = backend
         self.salt = salt if salt is not None else code_version_salt()
+
+    @property
+    def location(self) -> str:
+        """Human-readable store location (a path or URL) for messages."""
+        return self.backend.describe()
+
+    @property
+    def root(self) -> Path:
+        """The local store directory (directory-backed stores only)."""
+        root = getattr(self.backend, "root", None)
+        if root is None:
+            raise ConfigurationError(
+                f"store at {self.location} has no local root directory; "
+                "use store.location for messages or a file:// store for "
+                "path access"
+            )
+        return root
 
     # ------------------------------------------------------------------ #
     # keys
@@ -135,11 +207,23 @@ class ResultStore:
         return digest.hexdigest()
 
     def _entry_dir(self, key: str) -> Path:
-        return self.root / key[:2] / key
+        """The entry's directory (directory-backed stores only; tests and
+        maintenance tooling reach the raw files through it)."""
+        entry_dir = getattr(self.backend, "entry_dir", None)
+        if entry_dir is None:
+            raise ConfigurationError(
+                f"store at {self.location} keeps entries behind a "
+                "key-value backend, not directories"
+            )
+        return entry_dir(key)
+
+    def _entry_ref(self, key: str) -> str:
+        """How error messages name one entry (location + key)."""
+        return f"{key} at {self.location}"
 
     def contains(self, key: str) -> bool:
         """Whether a (complete) entry exists for ``key``."""
-        return (self._entry_dir(key) / _ENTRY_FILE).is_file()
+        return self.backend.contains(key)
 
     # ------------------------------------------------------------------ #
     # writing
@@ -150,24 +234,24 @@ class ResultStore:
         meta: Dict[str, object],
         traces: Optional[List[Trace]] = None,
     ) -> None:
-        entry_dir = self._entry_dir(key)
-        entry_dir.mkdir(parents=True, exist_ok=True)
+        files: Dict[str, bytes] = {}
         if traces is not None:
             arrays: Dict[str, np.ndarray] = {}
             for index, trace in enumerate(traces):
                 arrays[f"t{index}"] = trace.times
                 arrays[f"v{index}"] = trace.values
-            tmp_npz = entry_dir / f".{_TRACES_FILE}.tmp{os.getpid()}"
-            with tmp_npz.open("wb") as handle:
-                np.savez_compressed(handle, **arrays)
-            os.replace(tmp_npz, entry_dir / _TRACES_FILE)
+            buffer = io.BytesIO()
+            np.savez_compressed(buffer, **arrays)
+            files[_TRACES_FILE] = buffer.getvalue()
         meta = dict(meta)
         meta.update(schema=CACHE_SCHEMA_VERSION, salt=self.salt, key=key)
         meta.setdefault("created_at", time.time())
-        tmp_json = entry_dir / f".{_ENTRY_FILE}.tmp{os.getpid()}"
-        tmp_json.write_text(json.dumps(meta, indent=2, sort_keys=True) + "\n")
-        # entry.json lands last: its presence is what makes the entry real
-        os.replace(tmp_json, entry_dir / _ENTRY_FILE)
+        # entry.json lands last (the backend contract): its presence is
+        # what makes the entry real
+        files[_ENTRY_FILE] = (
+            json.dumps(meta, indent=2, sort_keys=True) + "\n"
+        ).encode()
+        self.backend.put(key, files)
 
     def store_run(
         self,
@@ -223,42 +307,50 @@ class ResultStore:
     # loading (validate-on-load)
     # ------------------------------------------------------------------ #
     def _load_entry(self, key: str, expect_kind: str) -> Optional[Dict[str, object]]:
-        entry_path = self._entry_dir(key) / _ENTRY_FILE
-        if not entry_path.is_file():
+        try:
+            blob = self.backend.get(key, _ENTRY_FILE)
+        except OSError as exc:
+            raise CacheCorruptionError(
+                f"cache entry {self._entry_ref(key)} is unreadable ({exc}); "
+                "delete it or run `repro cache gc`"
+            ) from None
+        if blob is None:
             return None
         try:
-            meta = json.loads(entry_path.read_text())
-        except (OSError, ValueError) as exc:
+            meta = json.loads(blob.decode())
+        except (UnicodeDecodeError, ValueError) as exc:
             raise CacheCorruptionError(
-                f"cache entry {entry_path} is unreadable ({exc}); delete it "
-                "or run `repro cache gc`"
+                f"cache entry {self._entry_ref(key)} is unreadable ({exc}); "
+                "delete it or run `repro cache gc`"
             ) from None
         if not isinstance(meta, dict):
             raise CacheCorruptionError(
-                f"cache entry {entry_path} does not contain a JSON object"
+                f"cache entry {self._entry_ref(key)} does not contain a "
+                "JSON object"
             )
         if meta.get("schema") != CACHE_SCHEMA_VERSION:
             raise CacheCorruptionError(
-                f"cache entry {entry_path} has schema {meta.get('schema')!r}; "
-                f"this code reads schema {CACHE_SCHEMA_VERSION} — run "
-                "`repro cache gc` to reclaim it"
+                f"cache entry {self._entry_ref(key)} has schema "
+                f"{meta.get('schema')!r}; this code reads schema "
+                f"{CACHE_SCHEMA_VERSION} — run `repro cache gc` to reclaim it"
             )
         if meta.get("key") != key:
             raise CacheCorruptionError(
-                f"cache entry {entry_path} records key {meta.get('key')!r} "
-                f"but is stored under {key!r}; the store is mis-indexed"
+                f"cache entry {self._entry_ref(key)} records key "
+                f"{meta.get('key')!r} but is stored under {key!r}; the "
+                "store is mis-indexed"
             )
         if meta.get("salt") != self.salt:
             # key derivation includes the salt, so this cannot happen via
             # normal addressing — treat a hand-moved entry as corruption
             raise CacheCorruptionError(
-                f"cache entry {entry_path} was written with salt "
+                f"cache entry {self._entry_ref(key)} was written with salt "
                 f"{meta.get('salt')!r} (current {self.salt!r})"
             )
         if meta.get("kind") != expect_kind:
             raise CacheCorruptionError(
-                f"cache entry {entry_path} has kind {meta.get('kind')!r}; "
-                f"expected {expect_kind!r}"
+                f"cache entry {self._entry_ref(key)} has kind "
+                f"{meta.get('kind')!r}; expected {expect_kind!r}"
             )
         return meta
 
@@ -284,20 +376,23 @@ class ResultStore:
             ) from None
         result = SimulationResult(stats=stats, metadata=dict(meta.get("metadata", {})))
         if meta.get("has_traces"):
-            npz_path = self._entry_dir(key) / _TRACES_FILE
             trace_meta = meta.get("traces", [])
-            if not npz_path.is_file():
+            try:
+                npz_blob = self.backend.get(key, _TRACES_FILE)
+            except OSError:
+                npz_blob = None
+            if npz_blob is None:
                 raise CacheCorruptionError(
-                    f"cache entry for {key} declares traces but "
-                    f"{npz_path} is missing"
+                    f"cache entry for {key} declares traces but its "
+                    f"{_TRACES_FILE} blob is missing"
                 )
-            with np.load(npz_path) as arrays:
+            with np.load(io.BytesIO(npz_blob)) as arrays:
                 for index, info in enumerate(trace_meta):
                     t_key, v_key = f"t{index}", f"v{index}"
                     if t_key not in arrays or v_key not in arrays:
                         raise CacheCorruptionError(
                             f"cache entry for {key} is missing trace arrays "
-                            f"{t_key}/{v_key} in {npz_path}"
+                            f"{t_key}/{v_key} in its {_TRACES_FILE} blob"
                         )
                     trace = Trace(str(info["name"]), str(info.get("unit", "")))
                     trace._times = arrays[t_key].tolist()
@@ -322,53 +417,40 @@ class ResultStore:
 
     def drop(self, key: str) -> bool:
         """Remove one entry; returns whether anything was removed."""
-        entry_dir = self._entry_dir(key)
-        if not entry_dir.exists():
-            return False
-        shutil.rmtree(entry_dir)
-        return True
+        return self.backend.delete(key)
 
     # ------------------------------------------------------------------ #
     # maintenance (the `repro cache` surface)
     # ------------------------------------------------------------------ #
     def entries(self) -> Iterator[Tuple[str, Dict[str, object]]]:
-        """Iterate ``(key, descriptor)`` over every entry on disk.
+        """Iterate ``(key, descriptor)`` over every stored entry.
 
         Unreadable entries are reported with ``"corrupt": True`` instead
         of raising, so maintenance commands can act on them.
         """
-        if not self.root.is_dir():
-            return
-        for shard in sorted(self.root.iterdir()):
-            if not shard.is_dir():
-                continue
-            for entry_dir in sorted(shard.iterdir()):
-                if not entry_dir.is_dir():
-                    continue
-                key = entry_dir.name
-                size = sum(
-                    item.stat().st_size
-                    for item in entry_dir.iterdir()
-                    if item.is_file()
+        for key in self.backend.iter_keys():
+            descriptor: Dict[str, object] = {"size_bytes": self.backend.size(key)}
+            try:
+                blob = self.backend.get(key, _ENTRY_FILE)
+                meta = json.loads(blob.decode()) if blob is not None else None
+            except (OSError, UnicodeDecodeError, ValueError):
+                meta = None
+            if not isinstance(meta, dict):
+                descriptor["corrupt"] = True
+            else:
+                descriptor.update(
+                    kind=meta.get("kind", "?"),
+                    label=meta.get("label", ""),
+                    salt=meta.get("salt", ""),
+                    created_at=float(meta.get("created_at", 0.0)),
+                    stale=meta.get("salt") != self.salt,
                 )
-                descriptor: Dict[str, object] = {"size_bytes": size}
-                try:
-                    meta = json.loads((entry_dir / _ENTRY_FILE).read_text())
-                    descriptor.update(
-                        kind=meta.get("kind", "?"),
-                        label=meta.get("label", ""),
-                        salt=meta.get("salt", ""),
-                        created_at=float(meta.get("created_at", 0.0)),
-                        stale=meta.get("salt") != self.salt,
-                    )
-                except (OSError, ValueError):
-                    descriptor["corrupt"] = True
-                yield key, descriptor
+            yield key, descriptor
 
     def stats(self) -> Dict[str, object]:
         """Aggregate store statistics (entry counts, bytes, staleness)."""
         totals = {
-            "root": str(self.root),
+            "root": self.location,
             "salt": self.salt,
             "n_entries": 0,
             "n_runs": 0,
@@ -418,4 +500,4 @@ class ResultStore:
         return removed
 
     def __repr__(self) -> str:  # pragma: no cover - debug convenience
-        return f"ResultStore(root={str(self.root)!r})"
+        return f"ResultStore({self.location!r})"

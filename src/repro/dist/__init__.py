@@ -1,0 +1,52 @@
+"""Distributed execution: pluggable store backends + a work-queue executor.
+
+Two halves compose into horizontal scale-out for sweeps:
+
+* **Store backends** (:mod:`repro.dist.backends`): the
+  :class:`StoreBackend` protocol extracted from
+  :class:`~repro.cache.store.ResultStore` — atomic per-entry
+  ``put/get/contains/delete/iter_keys`` over named byte blobs — with a
+  local-directory implementation (byte-identical to the historical
+  on-disk layout), an in-memory one (tests/ephemeral) and a TCP
+  key-value client for the stdlib-only ``repro kv-serve`` server
+  (:mod:`repro.dist.kv`), so a whole fleet shares one warm cache.
+* **Work queue** (:mod:`repro.dist.queue`, :mod:`repro.dist.worker`,
+  :mod:`repro.dist.executor`): ``RunOptions(backend="queue")`` enqueues
+  candidate tasks keyed by their content-addressed cache key; ``repro
+  worker`` processes lease tasks with heartbeats, evaluate them on the
+  exact scalar path the process backend uses, and write results through
+  the shared store; the parent polls the store and assembles results in
+  enumeration order.  Leases expire and are reclaimed, so a worker
+  SIGKILLed mid-candidate only delays its candidate — at-least-once
+  execution is safe because store writes are idempotent (same key, same
+  bytes).
+
+See DESIGN.md §9 for the protocol and the lease/heartbeat state machine.
+"""
+
+from .backends import (
+    LocalDirBackend,
+    MemoryBackend,
+    SocketKVBackend,
+    StoreBackend,
+    resolve_backend,
+)
+from .executor import QueueSweepExecutor
+from .kv import KVServer, serve_forever
+from .queue import DirWorkQueue, MemoryWorkQueue, open_queue
+from .worker import worker_loop
+
+__all__ = [
+    "StoreBackend",
+    "LocalDirBackend",
+    "MemoryBackend",
+    "SocketKVBackend",
+    "resolve_backend",
+    "KVServer",
+    "serve_forever",
+    "DirWorkQueue",
+    "MemoryWorkQueue",
+    "open_queue",
+    "QueueSweepExecutor",
+    "worker_loop",
+]

@@ -1,0 +1,283 @@
+"""Store backends: where :class:`~repro.cache.store.ResultStore` keeps bytes.
+
+The store's semantics — content-addressed keys, validate-on-load,
+atomic per-entry visibility — live in :mod:`repro.cache.store`; a
+backend only answers "where do the named byte blobs of one entry live".
+The protocol is deliberately tiny:
+
+* ``put(key, files)`` writes a mapping of ``name -> bytes`` for one
+  entry **atomically at entry granularity**: the reserved
+  ``"entry.json"`` blob must become visible *last*, so a torn write is
+  invisible (no ``entry.json`` means no entry) and concurrent writers of
+  the same key are harmless (last rename wins, content is identical by
+  construction — keys are content hashes).
+* ``get(key, name)`` returns the named blob or ``None`` when the entry
+  (or the blob) does not exist; other I/O errors propagate as
+  ``OSError`` for the store to classify.
+* ``contains``/``delete``/``iter_keys``/``size`` are the maintenance
+  surface behind ``repro cache ls/gc/clear/stats``.
+
+Three implementations ship: :class:`LocalDirBackend` (the historical
+on-disk layout, byte for byte — existing caches keep working),
+:class:`MemoryBackend` (tests/ephemeral) and :class:`SocketKVBackend`
+(client of the stdlib-only ``repro kv-serve`` TCP server,
+:mod:`repro.dist.kv`).  :func:`resolve_backend` maps store URLs
+(``file://``, ``memory://``, ``kv://``) onto them.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import threading
+from pathlib import Path
+from typing import Dict, Iterator, Mapping, Optional, Protocol, Union
+
+from ..core.errors import ConfigurationError
+
+__all__ = [
+    "ENTRY_BLOB",
+    "StoreBackend",
+    "LocalDirBackend",
+    "MemoryBackend",
+    "SocketKVBackend",
+    "resolve_backend",
+]
+
+#: the blob whose presence makes an entry real (must be written last)
+ENTRY_BLOB = "entry.json"
+
+PathLike = Union[str, Path]
+
+
+class StoreBackend(Protocol):
+    """Byte-blob storage for one content-addressed entry per key."""
+
+    def put(self, key: str, files: Mapping[str, bytes]) -> None:
+        """Write the entry's named blobs; ``entry.json`` becomes visible
+        last (atomic entry granularity)."""
+
+    def get(self, key: str, name: str = ENTRY_BLOB) -> Optional[bytes]:
+        """The named blob, or ``None`` when absent."""
+
+    def contains(self, key: str) -> bool:
+        """Whether a complete entry (its ``entry.json``) exists."""
+
+    def delete(self, key: str) -> bool:
+        """Remove the whole entry; returns whether anything was removed."""
+
+    def iter_keys(self) -> Iterator[str]:
+        """Every stored key (complete or torn), in deterministic order."""
+
+    def size(self, key: str) -> int:
+        """Total stored bytes of the entry (0 when absent)."""
+
+    def describe(self) -> str:
+        """Human-readable location (a path or URL) for messages."""
+
+
+class LocalDirBackend:
+    """The historical sharded-directory layout, byte for byte.
+
+    ``<root>/<key[:2]>/<key>/<name>`` with tmp-file + ``os.replace``
+    writes and ``entry.json`` renamed into place last — exactly what
+    ``ResultStore`` wrote before backends existed, so pre-existing
+    caches remain readable and new entries are indistinguishable.
+    """
+
+    def __init__(self, root: PathLike) -> None:
+        self.root = Path(root)
+
+    def entry_dir(self, key: str) -> Path:
+        return self.root / key[:2] / key
+
+    def put(self, key: str, files: Mapping[str, bytes]) -> None:
+        entry_dir = self.entry_dir(key)
+        entry_dir.mkdir(parents=True, exist_ok=True)
+        names = [name for name in files if name != ENTRY_BLOB]
+        if ENTRY_BLOB in files:
+            names.append(ENTRY_BLOB)  # the entry blob always lands last
+        for name in names:
+            tmp = entry_dir / f".{name}.tmp{os.getpid()}"
+            with tmp.open("wb") as handle:
+                handle.write(files[name])
+            os.replace(tmp, entry_dir / name)
+
+    def get(self, key: str, name: str = ENTRY_BLOB) -> Optional[bytes]:
+        try:
+            return (self.entry_dir(key) / name).read_bytes()
+        except FileNotFoundError:
+            return None
+
+    def contains(self, key: str) -> bool:
+        return (self.entry_dir(key) / ENTRY_BLOB).is_file()
+
+    def delete(self, key: str) -> bool:
+        entry_dir = self.entry_dir(key)
+        if not entry_dir.exists():
+            return False
+        shutil.rmtree(entry_dir)
+        return True
+
+    def iter_keys(self) -> Iterator[str]:
+        if not self.root.is_dir():
+            return
+        for shard in sorted(self.root.iterdir()):
+            # dot-directories are backend-private (the work queue lives
+            # in <root>/.queue), never entry shards
+            if not shard.is_dir() or shard.name.startswith("."):
+                continue
+            for entry_dir in sorted(shard.iterdir()):
+                if entry_dir.is_dir():
+                    yield entry_dir.name
+
+    def size(self, key: str) -> int:
+        entry_dir = self.entry_dir(key)
+        if not entry_dir.is_dir():
+            return 0
+        return sum(
+            item.stat().st_size for item in entry_dir.iterdir() if item.is_file()
+        )
+
+    def describe(self) -> str:
+        return str(self.root)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"LocalDirBackend({str(self.root)!r})"
+
+
+class MemoryBackend:
+    """In-process dict-of-blobs backend (tests, ephemeral sweeps).
+
+    Entry visibility is atomic: ``put`` assembles the new blob mapping
+    and publishes it under the lock in one assignment, so a reader never
+    observes a torn entry.  Shared *within* one process only — worker
+    subprocesses cannot see it (use ``kv://`` or ``file://`` for those).
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._entries: Dict[str, Dict[str, bytes]] = {}
+        self._lock = threading.Lock()
+
+    def put(self, key: str, files: Mapping[str, bytes]) -> None:
+        with self._lock:
+            merged = dict(self._entries.get(key, {}))
+            merged.update({name: bytes(blob) for name, blob in files.items()})
+            self._entries[key] = merged
+
+    def get(self, key: str, name: str = ENTRY_BLOB) -> Optional[bytes]:
+        with self._lock:
+            return self._entries.get(key, {}).get(name)
+
+    def contains(self, key: str) -> bool:
+        with self._lock:
+            return ENTRY_BLOB in self._entries.get(key, {})
+
+    def delete(self, key: str) -> bool:
+        with self._lock:
+            return self._entries.pop(key, None) is not None
+
+    def iter_keys(self) -> Iterator[str]:
+        with self._lock:
+            keys = sorted(self._entries)
+        return iter(keys)
+
+    def size(self, key: str) -> int:
+        with self._lock:
+            return sum(len(blob) for blob in self._entries.get(key, {}).values())
+
+    def describe(self) -> str:
+        return f"memory://{self.name}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"MemoryBackend(name={self.name!r})"
+
+
+class SocketKVBackend:
+    """Client backend for the ``repro kv-serve`` TCP server.
+
+    One lazily-opened connection per backend instance (never pickled:
+    tasks carry the URL, each worker dials its own), length-prefixed
+    JSON frames with base64 blobs — see :mod:`repro.dist.kv` for the
+    wire protocol.  Connection errors surface as ``OSError`` so the
+    store's existing degrade-on-write / corruption-on-read paths apply.
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = int(port)
+        from .kv import KVClient
+
+        self._client = KVClient(host, self.port)
+
+    def put(self, key: str, files: Mapping[str, bytes]) -> None:
+        self._client.put(key, files)
+
+    def get(self, key: str, name: str = ENTRY_BLOB) -> Optional[bytes]:
+        return self._client.get(key, name)
+
+    def contains(self, key: str) -> bool:
+        return self._client.contains(key)
+
+    def delete(self, key: str) -> bool:
+        return self._client.delete(key)
+
+    def iter_keys(self) -> Iterator[str]:
+        return iter(self._client.keys())
+
+    def size(self, key: str) -> int:
+        return self._client.size(key)
+
+    def describe(self) -> str:
+        return f"kv://{self.host}:{self.port}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"SocketKVBackend({self.host!r}, {self.port})"
+
+
+# in-process registry behind memory:// URLs: every resolution of one name
+# sees the same backend, which is what lets a parent and its worker
+# *threads* share an ephemeral store
+_MEMORY_BACKENDS: Dict[str, MemoryBackend] = {}
+_MEMORY_LOCK = threading.Lock()
+
+
+def resolve_backend(url: str) -> StoreBackend:
+    """Map a store URL onto a backend instance.
+
+    * ``file:///path/to/store`` (or a bare path) — :class:`LocalDirBackend`
+    * ``memory://name`` — process-shared :class:`MemoryBackend` registry
+    * ``kv://host:port`` — :class:`SocketKVBackend`
+    """
+    if not isinstance(url, str) or not url:
+        raise ConfigurationError(f"store URL must be a non-empty string, got {url!r}")
+    if url.startswith("file://"):
+        path = url[len("file://") :]
+        if not path:
+            raise ConfigurationError(f"store URL {url!r} has an empty path")
+        return LocalDirBackend(Path(path))
+    if url.startswith("memory://"):
+        name = url[len("memory://") :]
+        with _MEMORY_LOCK:
+            backend = _MEMORY_BACKENDS.get(name)
+            if backend is None:
+                backend = _MEMORY_BACKENDS[name] = MemoryBackend(name)
+        return backend
+    if url.startswith("kv://"):
+        address = url[len("kv://") :]
+        host, sep, port = address.rpartition(":")
+        if not sep or not host or not port.isdigit():
+            raise ConfigurationError(
+                f"store URL {url!r} must look like kv://host:port "
+                "(the address of a running `repro kv-serve`)"
+            )
+        return SocketKVBackend(host, int(port))
+    if "://" in url:
+        scheme = url.split("://", 1)[0]
+        raise ConfigurationError(
+            f"unknown store URL scheme {scheme!r} in {url!r}; supported "
+            "schemes are file://, memory:// and kv://"
+        )
+    # a bare path is a local directory store
+    return LocalDirBackend(Path(url))

@@ -1,0 +1,483 @@
+"""Work queues for the distributed sweep executor.
+
+A queue holds **coordination state only** — which candidate tasks are
+pending, leased, done or failed.  Results never travel through the
+queue: workers write them to the shared content-addressed store and the
+parent polls the store, so at-least-once task delivery is safe (a task
+executed twice writes the identical entry under the identical key).
+
+State machine (per task)::
+
+            put                lease               done
+    (new) ------> pending -----------> leased ------------> done
+                    ^                   |    \\
+                    | lease expired     |     \\ fail(error)
+                    +-------------------+      +----------> failed
+                    (attempts += 1; attempts >= max_attempts => failed)
+
+* ``lease(worker, lease_s)`` hands out one pending task with a deadline
+  of ``now + lease_s``; ``heartbeat`` extends it.  A task whose deadline
+  passes without a heartbeat is *reclaimed* — moved back to pending with
+  its attempt count bumped — which is exactly how a SIGKILLed worker's
+  candidate gets re-run.  ``max_attempts`` expired leases mark the task
+  failed so a candidate that kills every worker it touches cannot loop
+  forever.
+* ``done``/``fail`` are idempotent and tolerate a lost lease: when a
+  presumed-dead worker finishes after reclamation, its ``done`` is a
+  harmless duplicate (the store write already was).
+
+Two implementations share these semantics: :class:`MemoryWorkQueue`
+(in-process; also the state the ``repro kv-serve`` server hosts behind
+its ``q_*`` ops) and :class:`DirWorkQueue` (a ``.queue/`` directory
+next to a ``file://`` store, claims arbitrated by atomic ``os.replace``
+renames — exactly one winner per task, no locks).  :class:`KVWorkQueue`
+is the thin socket client of the server-hosted queue.
+:func:`open_queue` maps store URLs onto the right one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Union
+
+from ..core.errors import ConfigurationError
+
+__all__ = [
+    "QUEUE_DIR_NAME",
+    "MemoryWorkQueue",
+    "DirWorkQueue",
+    "KVWorkQueue",
+    "open_queue",
+]
+
+#: the dot-directory a DirWorkQueue occupies inside a file:// store root
+#: (dot-prefixed so the store's shard iteration never mistakes it for
+#: an entry shard)
+QUEUE_DIR_NAME = ".queue"
+
+#: task states, in lifecycle order
+_STATES = ("pending", "leased", "done", "failed")
+
+#: task ids are content-hash hex strings; enforcing that keeps
+#: DirWorkQueue filenames trivially safe
+_SAFE_ID = re.compile(r"^[A-Za-z0-9_.-]{1,128}$")
+
+#: how many failed-task error messages stats() carries (diagnostics for
+#: the parent's failure check, not a transcript)
+_MAX_STAT_ERRORS = 50
+
+Clock = Callable[[], float]
+
+
+def _require_id(task_id: str) -> str:
+    if not isinstance(task_id, str) or not _SAFE_ID.match(task_id):
+        raise ConfigurationError(
+            f"work-queue task id {task_id!r} must be a short [A-Za-z0-9_.-] "
+            "token (the executor uses content-hash keys)"
+        )
+    return task_id
+
+
+class MemoryWorkQueue:
+    """In-process work queue (and the kv-serve server's queue state).
+
+    Thread-safe via an internal lock; time comes from the injectable
+    ``clock`` so lease-expiry tests never sleep.
+    """
+
+    def __init__(self, *, max_attempts: int = 5, clock: Clock = time.time) -> None:
+        if max_attempts < 1:
+            raise ConfigurationError("max_attempts must be at least 1")
+        self.max_attempts = int(max_attempts)
+        self._clock = clock
+        self._tasks: Dict[str, Dict[str, object]] = {}
+        self._order: List[str] = []
+        self._lock = threading.RLock()
+
+    def put(self, task: Mapping[str, object]) -> bool:
+        """Enqueue a task (``task["id"]`` required).  Idempotent: a task
+        already pending/leased/done is left alone (returns ``False``); a
+        previously *failed* task is reset to pending for a fresh run."""
+        task_id = _require_id(str(task.get("id", "")))
+        with self._lock:
+            entry = self._tasks.get(task_id)
+            if entry is None:
+                self._tasks[task_id] = {
+                    "state": "pending",
+                    "payload": dict(task),
+                    "attempts": 0,
+                    "worker": None,
+                    "deadline": None,
+                    "error": None,
+                }
+                self._order.append(task_id)
+                return True
+            if entry["state"] == "failed":
+                entry.update(
+                    state="pending",
+                    payload=dict(task),
+                    attempts=0,
+                    worker=None,
+                    deadline=None,
+                    error=None,
+                )
+                return True
+            return False
+
+    def lease(self, worker: str, lease_s: float) -> Optional[Dict[str, object]]:
+        """Claim one task: ``{"id", "attempts", "payload"}`` or ``None``.
+
+        Reclaims expired leases first, then hands out the oldest pending
+        task; tasks whose expired-lease budget is spent become failed
+        instead of being handed out again.
+        """
+        now = self._clock()
+        with self._lock:
+            for task_id in self._order:
+                entry = self._tasks[task_id]
+                if entry["state"] == "leased" and float(entry["deadline"]) < now:
+                    entry.update(state="pending", worker=None, deadline=None)
+                    entry["attempts"] = int(entry["attempts"]) + 1
+            for task_id in self._order:
+                entry = self._tasks[task_id]
+                if entry["state"] != "pending":
+                    continue
+                attempts = int(entry["attempts"])
+                if attempts >= self.max_attempts:
+                    entry.update(
+                        state="failed",
+                        error=(
+                            f"gave up after {attempts} expired leases — the "
+                            "candidate keeps outliving (or killing) its workers"
+                        ),
+                    )
+                    continue
+                entry.update(
+                    state="leased", worker=str(worker), deadline=now + float(lease_s)
+                )
+                return {
+                    "id": task_id,
+                    "attempts": attempts,
+                    "payload": dict(entry["payload"]),
+                }
+            return None
+
+    def heartbeat(self, task_id: str, lease_s: float) -> bool:
+        """Extend a live lease; ``False`` means the lease was lost (the
+        task was reclaimed or finished elsewhere) and the worker should
+        stop counting on it."""
+        with self._lock:
+            entry = self._tasks.get(_require_id(task_id))
+            if entry is None or entry["state"] != "leased":
+                return False
+            entry["deadline"] = self._clock() + float(lease_s)
+            return True
+
+    def done(self, task_id: str) -> None:
+        with self._lock:
+            entry = self._tasks.get(_require_id(task_id))
+            if entry is not None:
+                entry.update(state="done", worker=None, deadline=None, error=None)
+
+    def fail(self, task_id: str, error: str) -> None:
+        with self._lock:
+            entry = self._tasks.get(_require_id(task_id))
+            if entry is not None and entry["state"] != "done":
+                entry.update(
+                    state="failed", worker=None, deadline=None, error=str(error)
+                )
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            counts = {state: 0 for state in _STATES}
+            errors: Dict[str, str] = {}
+            for task_id in self._order:
+                entry = self._tasks[task_id]
+                counts[str(entry["state"])] += 1
+                if entry["state"] == "failed" and len(errors) < _MAX_STAT_ERRORS:
+                    errors[task_id] = str(entry["error"] or "")
+            counts["errors"] = errors
+            return counts
+
+
+class DirWorkQueue:
+    """Filesystem work queue next to a ``file://`` store.
+
+    Layout: ``<dir>/{pending,leased,done,failed}/<id>.json``.  Claims
+    and reclamations are single ``os.replace`` renames between the state
+    directories — atomic on POSIX, so racing workers get exactly one
+    winner and the loser just sees ``FileNotFoundError`` and moves on.
+    Rewrites of an owned file (lease stamps, heartbeats) go through a
+    tmp file + rename, mirroring the store's own write discipline.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        *,
+        max_attempts: int = 5,
+        clock: Clock = time.time,
+    ) -> None:
+        if max_attempts < 1:
+            raise ConfigurationError("max_attempts must be at least 1")
+        self.root = Path(root)
+        self.max_attempts = int(max_attempts)
+        self._clock = clock
+
+    # ----------------------------- plumbing --------------------------- #
+    def _state_dir(self, state: str) -> Path:
+        return self.root / state
+
+    def _path(self, state: str, task_id: str) -> Path:
+        return self._state_dir(state) / f"{task_id}.json"
+
+    def _read(self, path: Path) -> Optional[Dict[str, object]]:
+        try:
+            record = json.loads(path.read_text())
+        except (FileNotFoundError, ValueError):
+            return None
+        return record if isinstance(record, dict) else None
+
+    def _write(self, path: Path, record: Mapping[str, object]) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / f".{path.name}.tmp{os.getpid()}"
+        tmp.write_text(json.dumps(record, sort_keys=True) + "\n")
+        os.replace(tmp, path)
+
+    def _find_state(self, task_id: str) -> Optional[str]:
+        for state in _STATES:
+            if self._path(state, task_id).is_file():
+                return state
+        return None
+
+    # ----------------------------- protocol --------------------------- #
+    def put(self, task: Mapping[str, object]) -> bool:
+        task_id = _require_id(str(task.get("id", "")))
+        state = self._find_state(task_id)
+        if state in ("pending", "leased", "done"):
+            return False
+        record = {
+            "payload": dict(task),
+            "attempts": 0,
+            "worker": None,
+            "deadline": None,
+            "error": None,
+        }
+        self._write(self._path("pending", task_id), record)
+        if state == "failed":
+            # reset of a failed task: the fresh pending record supersedes
+            # the tombstone
+            try:
+                self._path("failed", task_id).unlink()
+            except FileNotFoundError:  # pragma: no cover - benign race
+                pass
+        return True
+
+    def _reclaim_expired(self, now: float) -> None:
+        leased_dir = self._state_dir("leased")
+        if not leased_dir.is_dir():
+            return
+        for path in sorted(leased_dir.glob("*.json")):
+            record = self._read(path)
+            if record is None:
+                continue
+            deadline = record.get("deadline")
+            if deadline is None or float(deadline) >= now:
+                continue
+            try:
+                # atomic move back to pending; the stale lease stamp left
+                # in the file is how the next leaser knows to bump attempts
+                target = self._path("pending", path.name[: -len(".json")])
+                target.parent.mkdir(parents=True, exist_ok=True)
+                os.replace(path, target)
+            except FileNotFoundError:
+                continue  # another reclaimer won the rename
+
+    def lease(self, worker: str, lease_s: float) -> Optional[Dict[str, object]]:
+        now = self._clock()
+        self._reclaim_expired(now)
+        pending_dir = self._state_dir("pending")
+        if not pending_dir.is_dir():
+            return None
+        for path in sorted(pending_dir.glob("*.json")):
+            task_id = path.name[: -len(".json")]
+            claimed = self._path("leased", task_id)
+            claimed.parent.mkdir(parents=True, exist_ok=True)
+            try:
+                os.replace(path, claimed)  # atomic claim: exactly one winner
+            except FileNotFoundError:
+                continue  # a racing worker claimed it first
+            record = self._read(claimed) or {"payload": {"id": task_id}}
+            attempts = int(record.get("attempts", 0))
+            if record.get("worker"):
+                # the file still carries a lease stamp, so it got here by
+                # expiry reclamation: this claim is a re-run
+                attempts += 1
+            if attempts >= self.max_attempts:
+                record.update(
+                    attempts=attempts,
+                    worker=None,
+                    deadline=None,
+                    error=(
+                        f"gave up after {attempts} expired leases — the "
+                        "candidate keeps outliving (or killing) its workers"
+                    ),
+                )
+                self._write(self._path("failed", task_id), record)
+                try:
+                    claimed.unlink()
+                except FileNotFoundError:  # pragma: no cover - benign race
+                    pass
+                continue
+            record.update(
+                attempts=attempts, worker=str(worker), deadline=now + float(lease_s)
+            )
+            self._write(claimed, record)
+            return {
+                "id": task_id,
+                "attempts": attempts,
+                "payload": dict(record.get("payload", {"id": task_id})),
+            }
+        return None
+
+    def heartbeat(self, task_id: str, lease_s: float) -> bool:
+        path = self._path("leased", _require_id(task_id))
+        record = self._read(path)
+        if record is None:
+            return False
+        record["deadline"] = self._clock() + float(lease_s)
+        self._write(path, record)
+        return True
+
+    def done(self, task_id: str) -> None:
+        task_id = _require_id(task_id)
+        target = self._path("done", task_id)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            os.replace(self._path("leased", task_id), target)
+            return
+        except FileNotFoundError:
+            pass
+        if target.is_file():
+            return  # a duplicate finisher already recorded it
+        # lost lease (reclaimed while we finished): record completion
+        # anyway — the store write happened, the result is real
+        for state in ("pending", "failed"):
+            try:
+                os.replace(self._path(state, task_id), target)
+                return
+            except FileNotFoundError:
+                continue
+        self._write(target, {"payload": {"id": task_id}, "attempts": 0})
+
+    def fail(self, task_id: str, error: str) -> None:
+        task_id = _require_id(task_id)
+        if self._path("done", task_id).is_file():
+            return
+        source = self._path("leased", task_id)
+        record = self._read(source) or {"payload": {"id": task_id}, "attempts": 0}
+        record.update(state="failed", worker=None, deadline=None, error=str(error))
+        self._write(self._path("failed", task_id), record)
+        try:
+            source.unlink()
+        except FileNotFoundError:
+            pass
+
+    def stats(self) -> Dict[str, object]:
+        counts: Dict[str, object] = {}
+        errors: Dict[str, str] = {}
+        for state in _STATES:
+            state_dir = self._state_dir(state)
+            paths = sorted(state_dir.glob("*.json")) if state_dir.is_dir() else []
+            counts[state] = len(paths)
+            if state == "failed":
+                for path in paths[:_MAX_STAT_ERRORS]:
+                    record = self._read(path) or {}
+                    errors[path.name[: -len(".json")]] = str(
+                        record.get("error") or ""
+                    )
+        counts["errors"] = errors
+        return counts
+
+
+class KVWorkQueue:
+    """Socket client of the queue hosted by ``repro kv-serve``.
+
+    Same protocol as the in-process queues; leasing atomicity and the
+    expiry clock live server-side, so fleet members need no shared
+    filesystem and no synchronised clocks.
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        from .kv import KVClient
+
+        self._client = KVClient(host, port)
+
+    def put(self, task: Mapping[str, object]) -> bool:
+        _require_id(str(task.get("id", "")))
+        return self._client.q_put(task)
+
+    def lease(self, worker: str, lease_s: float) -> Optional[Dict[str, object]]:
+        return self._client.q_lease(worker, lease_s)
+
+    def heartbeat(self, task_id: str, lease_s: float) -> bool:
+        return self._client.q_heartbeat(_require_id(task_id), lease_s)
+
+    def done(self, task_id: str) -> None:
+        self._client.q_done(_require_id(task_id))
+
+    def fail(self, task_id: str, error: str) -> None:
+        self._client.q_fail(_require_id(task_id), error)
+
+    def stats(self) -> Dict[str, object]:
+        return self._client.q_stats()
+
+
+# memory:// queues share the registry semantics of the memory store
+# backends: one queue per URL name, visible to every thread that
+# resolves it
+_MEMORY_QUEUES: Dict[str, MemoryWorkQueue] = {}
+_MEMORY_LOCK = threading.Lock()
+
+
+def open_queue(store_url: str, *, max_attempts: int = 5):
+    """The work queue co-located with the store at ``store_url``.
+
+    * ``file://path`` (or a bare path) — a :class:`DirWorkQueue` in the
+      store root's ``.queue/`` dot-directory (shared filesystem fleets);
+    * ``kv://host:port`` — the :class:`KVWorkQueue` hosted by that
+      ``repro kv-serve`` (no shared filesystem needed);
+    * ``memory://name`` — a process-local :class:`MemoryWorkQueue`
+      (worker *threads* in tests).
+    """
+    if not isinstance(store_url, str) or not store_url:
+        raise ConfigurationError(
+            f"store URL must be a non-empty string, got {store_url!r}"
+        )
+    if store_url.startswith("kv://"):
+        from .backends import resolve_backend
+
+        backend = resolve_backend(store_url)
+        return KVWorkQueue(backend.host, backend.port)
+    if store_url.startswith("memory://"):
+        name = store_url[len("memory://") :]
+        with _MEMORY_LOCK:
+            queue = _MEMORY_QUEUES.get(name)
+            if queue is None:
+                queue = _MEMORY_QUEUES[name] = MemoryWorkQueue(
+                    max_attempts=max_attempts
+                )
+        return queue
+    path = store_url[len("file://") :] if store_url.startswith("file://") else store_url
+    if "://" in path:
+        scheme = store_url.split("://", 1)[0]
+        raise ConfigurationError(
+            f"unknown store URL scheme {scheme!r} in {store_url!r}; "
+            "supported schemes are file://, memory:// and kv://"
+        )
+    return DirWorkQueue(Path(path) / QUEUE_DIR_NAME, max_attempts=max_attempts)

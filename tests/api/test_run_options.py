@@ -84,3 +84,44 @@ class TestValidation:
     def test_single_run_accepts_run_knobs(self):
         RunOptions.fast().validate_for_single_run()
         RunOptions(n_workers=None).validate_for_single_run()
+
+
+class TestQueueBackend:
+    def test_queue_profile_arms_the_cache(self):
+        options = RunOptions.queue("memory://fleet")
+        assert options.backend == "queue"
+        assert options.store_url == "memory://fleet"
+        assert options.cache == "readwrite"
+        options.validate_for_sweep()
+
+    def test_queue_without_store_url_rejected(self):
+        with pytest.raises(ConfigurationError, match="without store_url"):
+            RunOptions(backend="queue", cache="readwrite")
+
+    def test_store_url_and_cache_dir_are_mutually_exclusive(self):
+        with pytest.raises(ConfigurationError, match="cache_dir"):
+            RunOptions(store_url="memory://fleet", cache_dir="/tmp/cache")
+
+    def test_queue_requires_a_writable_cache(self):
+        with pytest.raises(ConfigurationError, match="store writes"):
+            RunOptions(backend="queue", store_url="memory://fleet", cache="read")
+
+    def test_store_url_with_cache_off_rejected(self):
+        with pytest.raises(ConfigurationError, match="cache='off'"):
+            RunOptions(store_url="memory://fleet", cache="off")
+
+    def test_queue_rejects_local_worker_pools(self):
+        with pytest.raises(ConfigurationError, match="external"):
+            RunOptions.queue("memory://fleet", n_workers=4)
+
+    def test_lease_timeout_only_with_queue_and_positive(self):
+        RunOptions.queue("memory://fleet", lease_timeout_s=10.0).validate_for_sweep()
+        with pytest.raises(ConfigurationError, match="lease_timeout_s"):
+            RunOptions(lease_timeout_s=10.0)
+        with pytest.raises(ConfigurationError, match="positive"):
+            RunOptions.queue("memory://fleet", lease_timeout_s=0.0)
+
+    def test_queue_and_process_share_one_execution_fingerprint(self):
+        queued = RunOptions.queue("memory://fleet")
+        direct = RunOptions(backend="process", cache="readwrite")
+        assert queued.fingerprint() == direct.fingerprint()

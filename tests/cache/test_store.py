@@ -2,18 +2,26 @@
 
 Hit/miss addressing, byte-identical trace round-trips, validate-on-load
 corruption handling, code-version-salt invalidation and the maintenance
-surface (`entries`/`stats`/`gc`/`clear`).
+surface (`entries`/`stats`/`gc`/`clear`) — parameterised over all three
+store backends (local directory, in-memory, TCP key-value server), so
+the contract is one contract wherever the bytes live.  The local-layout
+tests at the bottom additionally pin the on-disk format byte for byte:
+caches written before backends existed must keep working.
 """
 
 import json
+import threading
+import uuid
 
 import numpy as np
 import pytest
 
-from repro.cache import ResultStore, code_version_salt
+from repro.cache import ResultStore, code_version_salt, open_store
 from repro.cache.store import CACHE_SCHEMA_VERSION
 from repro.core.errors import CacheCorruptionError, ConfigurationError
 from repro.core.results import SimulationResult, SolverStats, Trace
+from repro.dist.backends import MemoryBackend, SocketKVBackend
+from repro.dist.kv import KVServer
 
 
 def make_result() -> SimulationResult:
@@ -33,8 +41,54 @@ def make_result() -> SimulationResult:
 PAYLOAD = {"kind": "single", "scenario": {"name": "unit"}}
 
 
-def test_store_and_load_run_round_trips_traces_exactly(tmp_path):
-    store = ResultStore(tmp_path)
+@pytest.fixture(params=["local", "memory", "socket"])
+def store_factory(request, tmp_path):
+    """Builds stores over one shared backend of the parameterised flavour.
+
+    The factory form (rather than a plain store) lets salt-sensitive
+    tests open several differently-salted stores over the *same* bytes.
+    """
+    if request.param == "local":
+        yield lambda salt=None: ResultStore(tmp_path, salt=salt)
+    elif request.param == "memory":
+        backend = MemoryBackend(name=f"test-{uuid.uuid4().hex}")
+        yield lambda salt=None: ResultStore(backend=backend, salt=salt)
+    else:
+        server = KVServer(("127.0.0.1", 0))
+        thread = threading.Thread(
+            target=server.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            daemon=True,
+        )
+        thread.start()
+        host, port = server.server_address[:2]
+        yield lambda salt=None: ResultStore(
+            backend=SocketKVBackend(host, port), salt=salt
+        )
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5.0)
+
+
+@pytest.fixture
+def store(store_factory):
+    return store_factory()
+
+
+def corrupt_entry(store: ResultStore, key: str, data: bytes) -> None:
+    """Overwrite one entry's metadata blob (backend-generic tampering)."""
+    store.backend.put(key, {"entry.json": data})
+
+
+def drop_traces(store: ResultStore, key: str) -> None:
+    """Remove an entry's trace payload but keep its metadata."""
+    entry = store.backend.get(key, "entry.json")
+    assert entry is not None
+    assert store.backend.delete(key)
+    store.backend.put(key, {"entry.json": entry})
+
+
+def test_store_and_load_run_round_trips_traces_exactly(store):
     key = store.key_for(PAYLOAD)
     assert store.load_run(key) is None  # miss before any write
     store.store_run(key, make_result(), label="unit/proposed")
@@ -51,8 +105,7 @@ def test_store_and_load_run_round_trips_traces_exactly(tmp_path):
     assert loaded.metadata["scenario"] == "unit"
 
 
-def test_store_run_without_traces(tmp_path):
-    store = ResultStore(tmp_path)
+def test_store_run_without_traces(store):
     key = store.key_for(PAYLOAD)
     store.store_run(key, make_result(), store_traces=False)
     loaded = store.load_run(key)
@@ -60,8 +113,7 @@ def test_store_run_without_traces(tmp_path):
     assert loaded.trace_names() == []
 
 
-def test_point_round_trip_and_kind_check(tmp_path):
-    store = ResultStore(tmp_path)
+def test_point_round_trip_and_kind_check(store):
     key = store.key_for({"kind": "sweep_point", "index": 3})
     assert store.load_point(key) is None
     store.store_point(key, score=1.25e-5, cpu_time_s=0.75, exact_rerun=True)
@@ -75,57 +127,51 @@ def test_point_round_trip_and_kind_check(tmp_path):
         store.load_run(key)
 
 
-def test_key_depends_on_payload_and_salt(tmp_path):
-    store = ResultStore(tmp_path)
+def test_key_depends_on_payload_and_salt(store_factory):
+    store = store_factory()
     assert store.key_for(PAYLOAD) == store.key_for(dict(PAYLOAD))
     assert store.key_for(PAYLOAD) != store.key_for({**PAYLOAD, "kind": "x"})
-    other = ResultStore(tmp_path, salt="other-version")
+    other = store_factory(salt="other-version")
     assert store.key_for(PAYLOAD) != other.key_for(PAYLOAD)
 
 
-def test_unserialisable_payload_is_rejected(tmp_path):
-    store = ResultStore(tmp_path)
+def test_unserialisable_payload_is_rejected(store):
     with pytest.raises(ConfigurationError, match="canonical JSON"):
         store.key_for({"scenario": object()})
 
 
-def test_corrupt_entry_json_raises_on_load(tmp_path):
-    store = ResultStore(tmp_path)
+def test_corrupt_entry_json_raises_on_load(store):
     key = store.key_for(PAYLOAD)
     store.store_run(key, make_result())
-    entry_file = store._entry_dir(key) / "entry.json"
-    entry_file.write_text("{not json")
+    corrupt_entry(store, key, b"{not json")
     with pytest.raises(CacheCorruptionError, match="unreadable"):
         store.load_run(key)
 
 
-def test_missing_trace_payload_is_corruption(tmp_path):
-    store = ResultStore(tmp_path)
+def test_missing_trace_payload_is_corruption(store):
     key = store.key_for(PAYLOAD)
     store.store_run(key, make_result())
-    (store._entry_dir(key) / "traces.npz").unlink()
+    drop_traces(store, key)
     with pytest.raises(CacheCorruptionError, match="traces"):
         store.load_run(key)
 
 
-def test_schema_bump_is_corruption_and_gc_reclaims(tmp_path):
-    store = ResultStore(tmp_path)
+def test_schema_bump_is_corruption_and_gc_reclaims(store):
     key = store.key_for(PAYLOAD)
     store.store_run(key, make_result())
-    entry_file = store._entry_dir(key) / "entry.json"
-    meta = json.loads(entry_file.read_text())
+    meta = json.loads(store.backend.get(key, "entry.json").decode())
     meta["schema"] = CACHE_SCHEMA_VERSION + 1
-    entry_file.write_text(json.dumps(meta))
+    corrupt_entry(store, key, json.dumps(meta).encode())
     with pytest.raises(CacheCorruptionError, match="schema"):
         store.load_run(key)
 
 
-def test_stale_salt_entries_are_never_served_and_gc_reclaims(tmp_path):
-    old = ResultStore(tmp_path, salt="repro-0.9")
+def test_stale_salt_entries_are_never_served_and_gc_reclaims(store_factory):
+    old = store_factory(salt="repro-0.9")
     old_key = old.key_for(PAYLOAD)
     old.store_run(old_key, make_result())
 
-    new = ResultStore(tmp_path, salt="repro-1.0")
+    new = store_factory(salt="repro-1.0")
     # addressing includes the salt: the stale entry is simply unreachable
     assert new.key_for(PAYLOAD) != old_key
     assert new.load_run(new.key_for(PAYLOAD)) is None
@@ -139,8 +185,7 @@ def test_stale_salt_entries_are_never_served_and_gc_reclaims(tmp_path):
     assert list(new.entries()) == []
 
 
-def test_stats_and_clear(tmp_path):
-    store = ResultStore(tmp_path)
+def test_stats_and_clear(store):
     run_key = store.key_for(PAYLOAD)
     store.store_run(run_key, make_result())
     store.store_point(
@@ -154,6 +199,7 @@ def test_stats_and_clear(tmp_path):
     assert stats["n_runs"] == 1
     assert stats["n_points"] == 1
     assert stats["total_bytes"] > 0
+    assert stats["root"] == store.location
     assert store.clear() == 2
     assert store.stats()["n_entries"] == 0
 
@@ -161,3 +207,65 @@ def test_stats_and_clear(tmp_path):
 def test_default_salt_tracks_package_version():
     assert "repro-" in code_version_salt()
     assert f"schema{CACHE_SCHEMA_VERSION}" in code_version_salt()
+
+
+# ---------------------------------------------------------------------- #
+# local-layout pins: the on-disk format is a compatibility contract
+# ---------------------------------------------------------------------- #
+def test_local_layout_is_byte_identical_to_the_historical_format(tmp_path):
+    store = ResultStore(tmp_path)
+    key = store.key_for(PAYLOAD)
+    store.store_run(key, make_result(), label="unit/proposed")
+    entry_dir = tmp_path / key[:2] / key
+    assert entry_dir == store._entry_dir(key)
+    assert sorted(p.name for p in entry_dir.iterdir()) == [
+        "entry.json",
+        "traces.npz",
+    ]
+    text = (entry_dir / "entry.json").read_text()
+    meta = json.loads(text)
+    # indent-2, sorted keys, trailing newline: exactly what the store has
+    # always written, so diffs against old caches stay empty
+    assert text == json.dumps(meta, indent=2, sort_keys=True) + "\n"
+    assert meta["key"] == key
+    assert meta["salt"] == store.salt
+    assert meta["schema"] == CACHE_SCHEMA_VERSION
+
+
+def test_pre_backend_cache_written_by_hand_is_still_readable(tmp_path):
+    """An entry laid out with plain file writes (as an old cache on disk)
+    loads through the backend-delegating store unchanged."""
+    store = ResultStore(tmp_path)
+    key = store.key_for({"kind": "sweep_point", "legacy": True})
+    entry_dir = tmp_path / key[:2] / key
+    entry_dir.mkdir(parents=True)
+    meta = {
+        "kind": "point",
+        "label": "legacy",
+        "score": 2.5,
+        "cpu_time_s": 0.5,
+        "exact_rerun": False,
+        "schema": CACHE_SCHEMA_VERSION,
+        "salt": store.salt,
+        "key": key,
+        "created_at": 0.0,
+    }
+    (entry_dir / "entry.json").write_text(
+        json.dumps(meta, indent=2, sort_keys=True) + "\n"
+    )
+    assert store.load_point(key) == {
+        "score": 2.5,
+        "cpu_time_s": 0.5,
+        "exact_rerun": False,
+    }
+
+
+def test_url_stores_have_no_local_root(tmp_path):
+    memory = open_store(store_url=f"memory://root-{uuid.uuid4().hex}")
+    assert memory.location.startswith("memory://")
+    with pytest.raises(ConfigurationError, match="root"):
+        memory.root
+    local = open_store(cache_dir=tmp_path)
+    assert local.root == tmp_path
+    with pytest.raises(ConfigurationError, match="store_url"):
+        open_store(cache_dir=tmp_path, store_url="memory://both")

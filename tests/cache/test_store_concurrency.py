@@ -1,0 +1,74 @@
+"""Two processes racing ``store_run`` on one key: atomicity under fire.
+
+Keys are content hashes, so concurrent writers of the same key write the
+same bytes; the contract is that the race leaves exactly one complete,
+loadable entry — never a torn directory, never stray tmp files.
+"""
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.cache import ResultStore
+from repro.core.results import SimulationResult, SolverStats, Trace
+
+
+def make_result() -> SimulationResult:
+    result = SimulationResult(
+        stats=SolverStats(
+            solver_name="proposed",
+            cpu_time_s=0.25,
+            n_accepted_steps=10,
+            final_time=0.1,
+        ),
+        metadata={"scenario": "race"},
+    )
+    trace = Trace("storage_voltage", "V")
+    trace.extend([0.0, 0.05, 0.1], [0.0, 1.5, 2.25])
+    result.add_trace(trace)
+    return result
+
+
+def _racing_writer(root, key, barrier, rounds):
+    store = ResultStore(root)
+    result = make_result()
+    for _ in range(rounds):
+        barrier.wait(timeout=30.0)
+        store.store_run(key, result, label="race")
+
+
+@pytest.mark.parametrize("rounds", [5])
+def test_two_processes_racing_one_key_leave_one_atomic_winner(tmp_path, rounds):
+    store = ResultStore(tmp_path)
+    key = store.key_for({"kind": "single", "scenario": {"name": "race"}})
+    barrier = multiprocessing.Barrier(2)
+    writers = [
+        multiprocessing.Process(
+            target=_racing_writer, args=(tmp_path, key, barrier, rounds)
+        )
+        for _ in range(2)
+    ]
+    for writer in writers:
+        writer.start()
+    for writer in writers:
+        writer.join(timeout=60.0)
+        assert writer.exitcode == 0
+
+    # exactly one complete entry, loadable, with no torn leftovers
+    entry_dir = store._entry_dir(key)
+    assert sorted(path.name for path in entry_dir.iterdir()) == [
+        "entry.json",
+        "traces.npz",
+    ]
+    loaded = store.load_run(key)
+    assert loaded is not None
+    reference = make_result()
+    assert loaded.stats == reference.stats
+    assert np.array_equal(
+        loaded["storage_voltage"].values, reference["storage_voltage"].values
+    )
+    descriptors = dict(store.entries())
+    assert list(descriptors) == [key]
+    assert descriptors[key].get("corrupt") is None
+    assert descriptors[key]["stale"] is False

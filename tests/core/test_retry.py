@@ -1,0 +1,116 @@
+"""Deterministic tests of the jittered-backoff retry primitive."""
+
+import random
+
+import pytest
+
+from repro._retry import RetryPolicy, backoff_delays, retry_call
+from repro.core.errors import ConfigurationError
+
+
+# ---------------------------------------------------------------------- #
+# policy validation
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize(
+    "kwargs, fragment",
+    [
+        ({"base_s": 0.0}, "base_s"),
+        ({"factor": 0.5}, "factor"),
+        ({"base_s": 1.0, "max_s": 0.5}, "max_s"),
+        ({"jitter": 1.0}, "jitter"),
+        ({"jitter": -0.1}, "jitter"),
+        ({"deadline_s": None, "max_attempts": None}, "unbounded retry policy"),
+        ({"deadline_s": 0.0}, "deadline_s"),
+        ({"max_attempts": 0, "deadline_s": None}, "max_attempts"),
+    ],
+)
+def test_invalid_policies_are_rejected(kwargs, fragment):
+    with pytest.raises(ConfigurationError, match=fragment):
+        RetryPolicy(**kwargs)
+
+
+# ---------------------------------------------------------------------- #
+# the delay schedule
+# ---------------------------------------------------------------------- #
+def test_delays_grow_exponentially_and_cap_without_jitter():
+    policy = RetryPolicy(base_s=0.1, factor=2.0, max_s=1.0, jitter=0.0)
+    delays = backoff_delays(policy)
+    assert [next(delays) for _ in range(6)] == [0.1, 0.2, 0.4, 0.8, 1.0, 1.0]
+
+
+def test_jitter_shaves_each_delay_within_its_fraction():
+    policy = RetryPolicy(base_s=0.1, factor=2.0, max_s=1.0, jitter=0.5)
+    delays = backoff_delays(policy, rng=random.Random(7))
+    for expected in (0.1, 0.2, 0.4, 0.8, 1.0):
+        observed = next(delays)
+        assert expected * 0.5 <= observed <= expected
+
+
+# ---------------------------------------------------------------------- #
+# retry_call
+# ---------------------------------------------------------------------- #
+def flaky(failures, exc=OSError):
+    calls = {"n": 0}
+
+    def fn():
+        calls["n"] += 1
+        if calls["n"] <= failures:
+            raise exc(f"transient #{calls['n']}")
+        return calls["n"]
+
+    return fn
+
+
+def test_retries_through_transient_failures_with_backoff_sleeps():
+    sleeps = []
+    result = retry_call(
+        flaky(3),
+        policy=RetryPolicy(base_s=0.1, factor=2.0, max_s=1.0, jitter=0.0,
+                           max_attempts=10, deadline_s=None),
+        sleep=sleeps.append,
+    )
+    assert result == 4
+    assert sleeps == [0.1, 0.2, 0.4]
+
+
+def test_non_matching_exceptions_propagate_immediately():
+    sleeps = []
+    with pytest.raises(ValueError, match="transient #1"):
+        retry_call(flaky(1, exc=ValueError), sleep=sleeps.append)
+    assert sleeps == []  # no retry was even scheduled
+
+
+def test_exhausted_attempts_reraise_the_last_real_error():
+    sleeps = []
+    with pytest.raises(OSError, match="transient #3"):
+        retry_call(
+            flaky(99),
+            policy=RetryPolicy(jitter=0.0, max_attempts=3, deadline_s=None),
+            sleep=sleeps.append,
+        )
+    assert len(sleeps) == 2  # attempts 1 and 2 slept; attempt 3 gave up
+
+
+def test_deadline_stops_before_sleeping_past_the_budget():
+    clock = iter([0.0, 0.2, 9.9])  # start, after attempt 1, after attempt 2
+    with pytest.raises(OSError, match="transient #2"):
+        retry_call(
+            flaky(99),
+            policy=RetryPolicy(base_s=1.0, max_s=1.0, jitter=0.0, deadline_s=10.0),
+            sleep=lambda seconds: None,
+            clock=lambda: next(clock),
+        )
+
+
+def test_on_retry_observes_each_scheduled_retry():
+    seen = []
+    retry_call(
+        flaky(2),
+        policy=RetryPolicy(base_s=0.1, jitter=0.0, max_attempts=5, deadline_s=None),
+        sleep=lambda seconds: None,
+        on_retry=lambda attempt, delay, exc: seen.append((attempt, delay, str(exc))),
+    )
+    assert seen == [
+        (1, 0.1, "transient #1"),
+        (2, 0.2, "transient #2"),
+    ]

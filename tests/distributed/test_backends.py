@@ -1,0 +1,121 @@
+"""Store-backend contract: URL resolution, atomicity and layout rules."""
+
+import uuid
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.dist.backends import (
+    ENTRY_BLOB,
+    LocalDirBackend,
+    MemoryBackend,
+    SocketKVBackend,
+    resolve_backend,
+)
+
+
+# ---------------------------------------------------------------------- #
+# resolve_backend: URL -> backend
+# ---------------------------------------------------------------------- #
+def test_file_url_and_bare_path_resolve_to_local_dir(tmp_path):
+    by_url = resolve_backend(f"file://{tmp_path}")
+    assert isinstance(by_url, LocalDirBackend)
+    assert by_url.root == tmp_path
+    by_path = resolve_backend(str(tmp_path))
+    assert isinstance(by_path, LocalDirBackend)
+    assert by_path.root == tmp_path
+
+
+def test_memory_url_is_a_process_shared_registry():
+    name = f"reg-{uuid.uuid4().hex}"
+    first = resolve_backend(f"memory://{name}")
+    assert isinstance(first, MemoryBackend)
+    # same name -> the very same object (parent and worker threads share it)
+    assert resolve_backend(f"memory://{name}") is first
+    assert resolve_backend(f"memory://{name}-other") is not first
+    assert first.describe() == f"memory://{name}"
+
+
+def test_kv_url_parses_host_and_port():
+    backend = resolve_backend("kv://127.0.0.1:7077")
+    assert isinstance(backend, SocketKVBackend)
+    assert (backend.host, backend.port) == ("127.0.0.1", 7077)
+    assert backend.describe() == "kv://127.0.0.1:7077"
+
+
+@pytest.mark.parametrize("url", ["kv://nohost", "kv://host:", "kv://host:notaport"])
+def test_malformed_kv_url_is_rejected(url):
+    with pytest.raises(ConfigurationError, match="kv://host:port"):
+        resolve_backend(url)
+
+
+def test_unknown_scheme_and_empty_url_are_rejected():
+    with pytest.raises(ConfigurationError, match="unknown store URL scheme"):
+        resolve_backend("s3://bucket/prefix")
+    with pytest.raises(ConfigurationError, match="non-empty"):
+        resolve_backend("")
+    with pytest.raises(ConfigurationError, match="empty path"):
+        resolve_backend("file://")
+
+
+# ---------------------------------------------------------------------- #
+# LocalDirBackend: the historical layout's write discipline
+# ---------------------------------------------------------------------- #
+def test_local_put_renames_entry_json_into_place_last(tmp_path, monkeypatch):
+    import repro.dist.backends as backends_module
+
+    landed = []
+    real_replace = backends_module.os.replace
+
+    def recording_replace(src, dst):
+        landed.append(str(dst).rsplit("/", 1)[-1])
+        return real_replace(src, dst)
+
+    monkeypatch.setattr(backends_module.os, "replace", recording_replace)
+    backend = LocalDirBackend(tmp_path)
+    backend.put("ab" + "0" * 62, {ENTRY_BLOB: b"{}", "traces.npz": b"npz"})
+    # no entry.json means no entry, so it must always land last
+    assert landed == ["traces.npz", ENTRY_BLOB]
+
+
+def test_local_torn_entry_is_invisible_but_enumerable(tmp_path):
+    backend = LocalDirBackend(tmp_path)
+    key = "cd" + "1" * 62
+    backend.put(key, {"traces.npz": b"npz"})  # crashed before entry.json
+    assert backend.contains(key) is False
+    assert backend.get(key) is None
+    assert backend.get(key, "traces.npz") == b"npz"
+    # gc still sees the torn directory so it can be reclaimed
+    assert list(backend.iter_keys()) == [key]
+    assert backend.size(key) == 3
+    assert backend.delete(key) is True
+    assert backend.delete(key) is False
+
+
+def test_local_iter_keys_skips_dot_directories(tmp_path):
+    backend = LocalDirBackend(tmp_path)
+    key = "ef" + "2" * 62
+    backend.put(key, {ENTRY_BLOB: b"{}"})
+    # the work queue lives in <root>/.queue; it must never look like an entry
+    (tmp_path / ".queue" / "pending").mkdir(parents=True)
+    (tmp_path / ".queue" / "pending" / "bogus.json").write_text("{}")
+    assert list(backend.iter_keys()) == [key]
+
+
+# ---------------------------------------------------------------------- #
+# MemoryBackend: atomic publication under a lock
+# ---------------------------------------------------------------------- #
+def test_memory_backend_round_trip_and_merge():
+    backend = MemoryBackend(name="unit")
+    key = "k" * 64
+    backend.put(key, {"traces.npz": b"npz"})
+    assert backend.contains(key) is False  # entry blob still missing
+    backend.put(key, {ENTRY_BLOB: b"{}"})  # second put merges blobs
+    assert backend.contains(key) is True
+    assert backend.get(key) == b"{}"
+    assert backend.get(key, "traces.npz") == b"npz"
+    assert backend.size(key) == 5
+    assert list(backend.iter_keys()) == [key]
+    assert backend.delete(key) is True
+    assert backend.delete(key) is False
+    assert backend.get(key) is None

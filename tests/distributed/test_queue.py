@@ -1,0 +1,187 @@
+"""Lease state machine of the work queues (memory and directory).
+
+Both implementations must agree on the semantics the executor and the
+workers rely on: idempotent puts, exactly-one lease per task, expiry
+reclamation with an attempt budget, and idempotent done/fail.  Time is
+injected so expiry never sleeps.
+"""
+
+import json
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.dist.queue import (
+    QUEUE_DIR_NAME,
+    DirWorkQueue,
+    MemoryWorkQueue,
+    open_queue,
+)
+
+TASK_ID = "ab" + "0" * 62
+
+
+class FakeClock:
+    def __init__(self, now: float = 1000.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture(params=["memory", "dir"])
+def make_queue(request, tmp_path):
+    def build(*, max_attempts: int = 5, clock=None):
+        clock = clock if clock is not None else FakeClock()
+        if request.param == "memory":
+            return MemoryWorkQueue(max_attempts=max_attempts, clock=clock)
+        return DirWorkQueue(
+            tmp_path / QUEUE_DIR_NAME, max_attempts=max_attempts, clock=clock
+        )
+
+    return build
+
+
+def test_put_is_idempotent_and_lease_hands_out_once(make_queue):
+    queue = make_queue()
+    assert queue.put({"id": TASK_ID, "n": 1}) is True
+    assert queue.put({"id": TASK_ID, "n": 2}) is False  # already pending
+    lease = queue.lease("w1", 30.0)
+    assert lease["id"] == TASK_ID
+    assert lease["attempts"] == 0
+    assert lease["payload"]["n"] == 1  # the first put won
+    assert queue.put({"id": TASK_ID}) is False  # leased: still no re-enqueue
+    assert queue.lease("w2", 30.0) is None  # one lease per task
+    stats = queue.stats()
+    assert stats["leased"] == 1 and stats["pending"] == 0
+
+
+def test_heartbeat_extends_and_expiry_reclaims_with_attempt_bump(make_queue):
+    clock = FakeClock()
+    queue = make_queue(clock=clock)
+    queue.put({"id": TASK_ID})
+    assert queue.lease("w1", lease_s=10.0) is not None
+    clock.advance(8.0)
+    assert queue.heartbeat(TASK_ID, 10.0) is True  # deadline now t+18
+    clock.advance(8.0)  # t+16: heartbeat kept it alive
+    assert queue.lease("w2", 10.0) is None
+    clock.advance(5.0)  # t+21: the lease expired (no more heartbeats)
+    release = queue.lease("w2", 10.0)
+    assert release["id"] == TASK_ID
+    assert release["attempts"] == 1  # reclamation is a counted re-run
+    assert queue.heartbeat(TASK_ID, 10.0) is True  # w2 owns it now
+
+
+def test_heartbeat_on_unleased_task_reports_a_lost_lease(make_queue):
+    queue = make_queue()
+    assert queue.heartbeat(TASK_ID, 30.0) is False  # never enqueued
+    queue.put({"id": TASK_ID})
+    assert queue.heartbeat(TASK_ID, 30.0) is False  # pending, not leased
+
+
+def test_expired_lease_budget_marks_the_task_failed(make_queue):
+    clock = FakeClock()
+    queue = make_queue(max_attempts=2, clock=clock)
+    queue.put({"id": TASK_ID})
+    for expected_attempts in (0, 1):  # two leases, both left to expire
+        lease = queue.lease("doomed", lease_s=5.0)
+        assert lease["attempts"] == expected_attempts
+        clock.advance(6.0)
+    assert queue.lease("doomed", 5.0) is None  # budget spent: failed, not reissued
+    stats = queue.stats()
+    assert stats["failed"] == 1
+    assert "gave up after 2 expired leases" in stats["errors"][TASK_ID]
+
+
+def test_done_is_idempotent_and_blocks_re_enqueue(make_queue):
+    queue = make_queue()
+    queue.put({"id": TASK_ID})
+    queue.lease("w1", 30.0)
+    queue.done(TASK_ID)
+    queue.done(TASK_ID)  # duplicate finisher: harmless
+    assert queue.put({"id": TASK_ID}) is False  # done is terminal
+    assert queue.lease("w1", 30.0) is None
+    assert queue.stats()["done"] == 1
+
+
+def test_done_after_reclamation_still_records_completion(make_queue):
+    """A presumed-dead worker finishing late must not lose the result."""
+    clock = FakeClock()
+    queue = make_queue(clock=clock)
+    queue.put({"id": TASK_ID})
+    queue.lease("slow", lease_s=5.0)
+    clock.advance(6.0)
+    queue.lease("fast", lease_s=5.0)  # reclamation hands it to a second worker
+    queue.done(TASK_ID)  # the slow worker finishes anyway
+    queue.done(TASK_ID)  # ... and so does the fast one
+    stats = queue.stats()
+    assert stats["done"] == 1
+    assert stats["leased"] == stats["pending"] == stats["failed"] == 0
+
+
+def test_fail_records_the_error_and_put_resets_for_a_fresh_run(make_queue):
+    queue = make_queue()
+    queue.put({"id": TASK_ID})
+    queue.lease("w1", 30.0)
+    queue.fail(TASK_ID, "divergent candidate")
+    stats = queue.stats()
+    assert stats["failed"] == 1
+    assert stats["errors"][TASK_ID] == "divergent candidate"
+    assert queue.put({"id": TASK_ID}) is True  # failed tasks may be retried
+    lease = queue.lease("w2", 30.0)
+    assert lease["attempts"] == 0  # the reset cleared the budget
+
+
+def test_fail_never_downgrades_a_done_task(make_queue):
+    queue = make_queue()
+    queue.put({"id": TASK_ID})
+    queue.lease("w1", 30.0)
+    queue.done(TASK_ID)
+    queue.fail(TASK_ID, "late spurious failure")
+    assert queue.stats()["done"] == 1
+    assert queue.stats()["failed"] == 0
+
+
+def test_task_ids_must_be_filename_safe(make_queue):
+    queue = make_queue()
+    with pytest.raises(ConfigurationError, match="task id"):
+        queue.put({"id": "../../etc/passwd"})
+    with pytest.raises(ConfigurationError, match="task id"):
+        queue.put({})
+
+
+def test_sigkilled_workers_stale_lease_file_is_reclaimed(tmp_path):
+    """A leased/ file whose deadline passed — all a SIGKILL leaves behind —
+    goes back to pending with its attempt counted."""
+    root = tmp_path / QUEUE_DIR_NAME
+    clock = FakeClock()
+    queue = DirWorkQueue(root, clock=clock)
+    (root / "leased").mkdir(parents=True)
+    (root / "leased" / f"{TASK_ID}.json").write_text(
+        json.dumps(
+            {
+                "payload": {"id": TASK_ID, "n": 7},
+                "attempts": 0,
+                "worker": "killed-worker",
+                "deadline": clock() - 1.0,
+            }
+        )
+    )
+    lease = queue.lease("survivor", 30.0)
+    assert lease["id"] == TASK_ID
+    assert lease["attempts"] == 1
+    assert lease["payload"]["n"] == 7
+
+
+def test_open_queue_maps_store_urls(tmp_path):
+    assert isinstance(open_queue(str(tmp_path)), DirWorkQueue)
+    dir_queue = open_queue(f"file://{tmp_path}")
+    assert isinstance(dir_queue, DirWorkQueue)
+    assert dir_queue.root == tmp_path / QUEUE_DIR_NAME
+    memory_url = "memory://open-queue-unit"
+    assert open_queue(memory_url) is open_queue(memory_url)  # shared registry
+    with pytest.raises(ConfigurationError, match="unknown store URL scheme"):
+        open_queue("s3://bucket")
